@@ -1,0 +1,90 @@
+//! **Extension** — quad-core multiprogrammed mixes under hybrid virtual
+//! caching.
+//!
+//! The paper evaluates multiprogrammed quad-core mixes for the
+//! index-cache study (Figure 7); this extension runs full-system
+//! simulations of such mixes: four single-process workloads pinned to
+//! four cores sharing one inclusive LLC, the delayed translation
+//! structures, and DRAM. It also demonstrates the instruction-fetch
+//! stream model (every fetch consults the translation front-end).
+
+use hvc_bench::{print_table, ratio, refs_per_run, PHYS_BYTES};
+use hvc_cache::HierarchyConfig;
+use hvc_core::{SystemConfig, SystemSim, TranslationScheme};
+use hvc_os::{AllocPolicy, Kernel};
+use hvc_workloads::{apps, WorkloadSpec};
+
+/// Interleaves four single-process workloads round-robin through one
+/// 4-core simulator and returns the aggregate IPC.
+fn run_mix(
+    mix: &[WorkloadSpec],
+    scheme: TranslationScheme,
+    policy: AllocPolicy,
+    refs: usize,
+    ifetch: bool,
+) -> f64 {
+    let mut kernel = Kernel::new(PHYS_BYTES, policy);
+    let mut insts: Vec<_> = mix
+        .iter()
+        .map(|s| s.instantiate(&mut kernel, 77).expect("instantiate"))
+        .collect();
+    let mut config = SystemConfig::isca2016();
+    config.hierarchy = HierarchyConfig::isca2016(4);
+    config.model_ifetch = ifetch;
+    let mut sim = SystemSim::new(kernel, config, scheme);
+    let n = insts.len();
+    for i in 0..refs {
+        let inst = &mut insts[i % n];
+        let mlp = inst.mlp();
+        let item = inst.next_item();
+        sim.step(item, mlp);
+    }
+    sim.report().ipc()
+}
+
+fn main() {
+    let refs = refs_per_run(400_000);
+    let mixes: Vec<(&str, Vec<WorkloadSpec>)> = vec![
+        ("zipf-heavy", vec![apps::xalancbmk(), apps::omnetpp(), apps::astar(), apps::memcached()]),
+        ("mixed", vec![apps::gups(256 << 20), apps::omnetpp(), apps::stream(), apps::npb_cg()]),
+        ("index-walkers", vec![apps::tigr(), apps::mummer(), apps::xalancbmk(), apps::canneal()]),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, mix) in &mixes {
+        let base = run_mix(mix, TranslationScheme::Baseline, AllocPolicy::DemandPaging, refs, false);
+        let hyb = run_mix(
+            mix,
+            TranslationScheme::HybridManySegment { segment_cache: true },
+            AllocPolicy::EagerSegments { split: 1 },
+            refs,
+            false,
+        );
+        let hyb_if = run_mix(
+            mix,
+            TranslationScheme::HybridManySegment { segment_cache: true },
+            AllocPolicy::EagerSegments { split: 1 },
+            refs,
+            true,
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{base:.3}"),
+            ratio(hyb / base),
+            ratio(hyb_if / base),
+        ]);
+    }
+
+    print_table(
+        "Extension: 4-core multiprogrammed mixes (aggregate IPC, normalized)",
+        &["mix", "baseline IPC", "hyb+manyseg", "hyb+manyseg (+ifetch)"],
+        &rows,
+    );
+    println!("\nFour cores share one LLC and the delayed translation structures. The");
+    println!("memory-intensive mixes keep their hybrid gains; a mix of Zipfian");
+    println!("workloads whose combined hot sets thrash the shared LLC shifts the");
+    println!("balance back toward the baseline (serial delayed translation is paid");
+    println!("on every LLC miss) — the multiprogrammed analogue of Figure 9's");
+    println!("per-application crossovers.");
+    println!("({refs} references per point; set HVC_REFS to change)");
+}

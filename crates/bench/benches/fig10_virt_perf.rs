@@ -1,0 +1,78 @@
+//! **Virtualized performance** (Section V / VI; abstract headline:
+//! +31.7% over a system with a state-of-the-art translation cache for
+//! two-dimensional translation).
+//!
+//! Configurations: nested baseline (gVA→MA TLB + nested-TLB-accelerated
+//! 2D walker); hybrid with a delayed TLB backed by the 2D walker; hybrid
+//! with 2D (guest + host) segment translation.
+
+use hvc_bench::{print_table, ratio, refs_per_run};
+use hvc_core::{SystemConfig, VirtScheme, VirtSystemSim};
+use hvc_os::AllocPolicy;
+use hvc_workloads::{apps, WorkloadSpec};
+
+const GIB: u64 = 1 << 30;
+
+fn run_virt(spec: &WorkloadSpec, scheme: VirtScheme, refs: usize) -> f64 {
+    let (policy, eager) = match scheme {
+        VirtScheme::HybridNestedSegments => (AllocPolicy::EagerSegments { split: 1 }, true),
+        _ => (AllocPolicy::DemandPaging, false),
+    };
+    let mut hv = hvc_virt::Hypervisor::new(8 * GIB);
+    let vm = hv.create_vm(2 * GIB, policy, eager).expect("vm");
+    let gk = hv.guest_kernel_mut(vm).expect("guest kernel");
+    let mut wl = spec.instantiate(gk, 71).expect("instantiate");
+    let mut sim = VirtSystemSim::new(hv, vm, SystemConfig::isca2016(), scheme).expect("sim");
+    sim.warm_up(&mut wl, refs / 2);
+    sim.run(&mut wl, refs).ipc()
+}
+
+fn main() {
+    let refs = refs_per_run(500_000);
+    let schemes = [
+        ("nested-base", VirtScheme::NestedBaseline),
+        ("hyb+dTLB-4k", VirtScheme::HybridDelayedNested(4096)),
+        ("hyb+2Dseg", VirtScheme::HybridNestedSegments),
+    ];
+
+    let workloads = vec![
+        apps::gups(256 << 20),
+        apps::mcf(),
+        apps::omnetpp(),
+        apps::xalancbmk(),
+        apps::astar(),
+        apps::npb_cg(),
+    ];
+
+    let mut rows = Vec::new();
+    let mut geo = vec![0.0f64; schemes.len()];
+    for spec in &workloads {
+        let ipcs: Vec<f64> = schemes
+            .iter()
+            .map(|(_, s)| run_virt(spec, *s, refs))
+            .collect();
+        let base = ipcs[0].max(1e-12);
+        let norm: Vec<f64> = ipcs.iter().map(|i| i / base).collect();
+        for (g, n) in geo.iter_mut().zip(&norm) {
+            *g += n.ln();
+        }
+        let mut row = vec![spec.name.clone()];
+        row.extend(norm.iter().map(|n| ratio(*n)));
+        rows.push(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    geo_row.extend(geo.iter().map(|g| ratio((g / workloads.len() as f64).exp())));
+    rows.push(geo_row);
+
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(schemes.iter().map(|(n, _)| *n))
+        .collect();
+    print_table(
+        "Virtualized performance normalized to the nested (2D translation-cache) baseline",
+        &headers,
+        &rows,
+    );
+    println!("\nExpected shape: removing the 2D walk from the core-to-L1 path and filtering");
+    println!("it by the LLC gives large gains; the paper reports +31.7% on average.");
+    println!("({refs} references per point; set HVC_REFS to change)");
+}

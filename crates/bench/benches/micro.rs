@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks of the hot simulator components.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hvc_cache::{Hierarchy, HierarchyConfig};
+use hvc_filter::SynonymFilter;
+use hvc_mem::{Dram, DramConfig};
+use hvc_os::SegmentTable;
+use hvc_segment::IndexTree;
+use hvc_tlb::{Tlb, TlbConfig};
+use hvc_types::{AccessKind, Asid, BlockName, Cycles, LineAddr, PhysAddr, VirtAddr, VirtPage};
+
+fn bench_filter(c: &mut Criterion) {
+    let mut f = SynonymFilter::new();
+    for i in 0..64u64 {
+        f.insert_page(VirtAddr::new(i << 15));
+    }
+    c.bench_function("synonym_filter_probe", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            black_box(f.is_candidate(VirtAddr::new(x)))
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut t = Tlb::new(TlbConfig::l2_1024());
+    let pte = hvc_os::Pte {
+        frame: hvc_types::PhysFrame::new(1),
+        perm: hvc_types::Permissions::RW,
+        shared: false,
+    };
+    for i in 0..1024u64 {
+        t.insert(Asid::new(1), VirtPage::new(i), pte);
+    }
+    c.bench_function("tlb_lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(t.lookup(Asid::new(1), VirtPage::new(i)))
+        })
+    });
+}
+
+fn bench_index_tree(c: &mut Criterion) {
+    let mut table = SegmentTable::new(2048);
+    for i in 0..2048u64 {
+        table
+            .insert(
+                Asid::new(1),
+                VirtAddr::new(i * 0x100_0000),
+                0x80_0000,
+                PhysAddr::new(i * 0x80_0000),
+            )
+            .unwrap();
+    }
+    let tree = IndexTree::build(&table, PhysAddr::new(0));
+    c.bench_function("index_tree_lookup_2048", |b| {
+        let mut i = 0u64;
+        let mut touched = Vec::with_capacity(8);
+        b.iter(|| {
+            i = (i * 6364136223846793005).wrapping_add(1442695040888963407);
+            touched.clear();
+            black_box(tree.lookup(Asid::new(1), VirtAddr::new(i % (2048 * 0x100_0000)), &mut touched))
+        })
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut h = Hierarchy::new(HierarchyConfig::isca2016(1));
+    for i in 0..512u64 {
+        h.access(0, BlockName::Virt(Asid::new(1), LineAddr::new(i)), AccessKind::Read);
+    }
+    c.bench_function("hierarchy_l1_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(h.access(0, BlockName::Virt(Asid::new(1), LineAddr::new(i)), AccessKind::Read))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut d = Dram::new(DramConfig::ddr3_1600());
+    c.bench_function("dram_access", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x40);
+            black_box(d.access(Cycles::new(i), PhysAddr::new(i % (1 << 30)), false))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_filter,
+    bench_tlb,
+    bench_index_tree,
+    bench_hierarchy,
+    bench_dram
+);
+criterion_main!(benches);

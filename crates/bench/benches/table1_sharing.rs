@@ -1,0 +1,75 @@
+//! **Table I** — ratio of r/w shared memory area and accesses to the
+//! r/w shared regions.
+//!
+//! Paper values: ferret ≈ 0.3% area / 0.2% accesses; postgres ≈ 66% /
+//! 16%; SpecJBB, firefox, apache small; SPEC CPU and the rest of PARSEC
+//! exactly 0.
+
+use hvc_bench::{pct, print_table, refs_per_run, run_native};
+use hvc_core::{SystemConfig, TranslationScheme};
+use hvc_os::AllocPolicy;
+use hvc_workloads::apps;
+
+fn main() {
+    let refs = refs_per_run(300_000);
+    let mut rows = Vec::new();
+    let paper: &[(&str, &str, &str)] = &[
+        ("ferret", "0.3%", "0.2%"),
+        ("postgres", "66%", "16%"),
+        ("SpecJBB", "~0.5%", "~0.1%"),
+        ("firefox", "~2%", "~0.6%"),
+        ("apache", "~3%", "~0.5%"),
+        ("SPECCPU", "0%", "0%"),
+        ("Remaining Parsec", "0%", "0%"),
+    ];
+
+    let mut specs = apps::synonym_set();
+    // SPEC representative (no sharing).
+    specs.push(apps::mcf());
+
+    for spec in &specs {
+        let (report, sim) = run_native(
+            spec,
+            TranslationScheme::Baseline,
+            AllocPolicy::DemandPaging,
+            SystemConfig::isca2016(),
+            refs,
+            17,
+        );
+        // Average the per-process shared-area ratio, like the paper's
+        // per-second sampling average.
+        let kernel = sim.kernel();
+        let mut area = 0.0;
+        let mut nproc = 0.0;
+        for asid in 1..=16u16 {
+            if let Some(space) = kernel.space(hvc_types::Asid::new(asid)) {
+                let total = space.total_vma_pages();
+                if total > 0 {
+                    area += space.rw_shared_pages() as f64 / total as f64;
+                    nproc += 1.0;
+                }
+            }
+        }
+        let area = if nproc > 0.0 { area / nproc } else { 0.0 };
+        let access = report.translation.shared_accesses as f64 / report.refs as f64;
+        let (pa, pb) = paper
+            .iter()
+            .find(|(n, _, _)| spec.name.starts_with(n) || n.starts_with(&spec.name))
+            .map(|(_, a, b)| (*a, *b))
+            .unwrap_or(("0%", "0%"));
+        rows.push(vec![
+            spec.name.clone(),
+            pct(area),
+            pa.to_string(),
+            pct(access),
+            pb.to_string(),
+        ]);
+    }
+
+    print_table(
+        "Table I: r/w shared memory area and accesses to shared regions",
+        &["workload", "shared area", "(paper)", "shared access", "(paper)"],
+        &rows,
+    );
+    println!("\n({} references per workload; set HVC_REFS to change)", refs);
+}

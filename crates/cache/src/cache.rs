@@ -1,0 +1,422 @@
+//! A single set-associative cache level keyed by [`BlockName`].
+
+use crate::{CacheConfig, LevelStats};
+use hvc_types::{Asid, BlockName, Permissions, PAGE_SHIFT};
+#[cfg(test)]
+use hvc_types::LineAddr;
+
+/// An evicted line returned to the caller for writeback handling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// The unique name of the evicted block.
+    pub name: BlockName,
+    /// Whether the block was dirty (needs a writeback).
+    pub dirty: bool,
+}
+
+/// One cached line. `sharers` is used only by the LLC level of a
+/// multi-core [`crate::Hierarchy`] to track which private caches hold the
+/// block (MESI-style directory-in-LLC).
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    name: BlockName,
+    dirty: bool,
+    perm: Permissions,
+    lru: u64,
+    sharers: u32,
+}
+
+/// A set-associative cache level keyed by the hybrid [`BlockName`].
+///
+/// Indexing uses the low line-address bits (as hardware does); the ASID
+/// participates only in tag comparison, which is exactly the paper's tag
+/// extension (Figure 2): `ASID | PA/VA tag | S | permission`.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: LevelStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            config,
+            tick: 0,
+            stats: LevelStats::default(),
+        }
+    }
+
+    /// Returns the geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Returns accumulated statistics for this level.
+    pub fn stats(&self) -> &LevelStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = LevelStats::default();
+    }
+
+    fn set_index(&self, name: BlockName) -> usize {
+        (name.line().as_u64() as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up `name`; on a hit updates LRU and (for writes) the dirty
+    /// bit, and returns `true`.
+    pub fn access(&mut self, name: BlockName, write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(name);
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.name == name) {
+            line.lru = tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Probes for `name` without updating LRU or statistics.
+    pub fn contains(&self, name: BlockName) -> bool {
+        let idx = self.set_index(name);
+        self.sets[idx].iter().any(|l| l.name == name)
+    }
+
+    /// Returns the permission bits cached with `name`, if present.
+    pub fn permissions(&self, name: BlockName) -> Option<Permissions> {
+        let idx = self.set_index(name);
+        self.sets[idx].iter().find(|l| l.name == name).map(|l| l.perm)
+    }
+
+    /// Inserts `name` (filling after a miss); returns the victim if the
+    /// set was full. If the block is already present this refreshes its
+    /// LRU/dirty state instead of duplicating it.
+    pub fn fill(&mut self, name: BlockName, dirty: bool, perm: Permissions) -> Option<Victim> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.config.ways;
+        let idx = self.set_index(name);
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.name == name) {
+            line.lru = tick;
+            line.dirty |= dirty;
+            line.perm = perm;
+            return None;
+        }
+        let mut victim = None;
+        if set.len() == ways {
+            let (slot, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            let old = set.swap_remove(slot);
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+            victim = Some(Victim { name: old.name, dirty: old.dirty });
+        }
+        set.push(Line { name, dirty, perm, lru: tick, sharers: 0 });
+        victim
+    }
+
+    /// Removes `name` if present, returning its victim record (dirty state
+    /// preserved so the caller can write it back).
+    pub fn invalidate(&mut self, name: BlockName) -> Option<Victim> {
+        let idx = self.set_index(name);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|l| l.name == name) {
+            let old = set.swap_remove(pos);
+            self.stats.invalidations += 1;
+            Some(Victim { name: old.name, dirty: old.dirty })
+        } else {
+            None
+        }
+    }
+
+    /// Marks `name` dirty if present, without touching LRU or statistics
+    /// (coherence fold-in of a remote modified copy).
+    pub fn mark_dirty(&mut self, name: BlockName) {
+        let idx = self.set_index(name);
+        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
+            line.dirty = true;
+        }
+    }
+
+    /// Marks `name` clean (after a writeback) if present.
+    pub fn clean(&mut self, name: BlockName) {
+        let idx = self.set_index(name);
+        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
+            line.dirty = false;
+        }
+    }
+
+    /// Downgrades the cached permissions of every line of the given
+    /// virtual page to read-only (the paper's content-sharing transition).
+    pub fn downgrade_page_read_only(&mut self, asid: Asid, vpage: u64) {
+        self.retain_update(|l| {
+            if page_of(l.name) == Some((asid, vpage)) {
+                l.perm = l.perm.downgraded_read_only();
+            }
+            true
+        });
+    }
+
+    /// Invalidates every line belonging to the virtual page `(asid,
+    /// vpage)`, returning dirty victims.
+    pub fn flush_virt_page(&mut self, asid: Asid, vpage: u64) -> Vec<Victim> {
+        let mut victims = Vec::new();
+        self.retain_update(|l| {
+            if page_of(l.name) == Some((asid, vpage)) {
+                if l.dirty {
+                    victims.push(Victim { name: l.name, dirty: true });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.invalidations += victims.len() as u64;
+        victims
+    }
+
+    /// Invalidates every line of an address space (process teardown).
+    pub fn flush_asid(&mut self, asid: Asid) -> Vec<Victim> {
+        let mut victims = Vec::new();
+        self.retain_update(|l| {
+            if l.name.asid() == Some(asid) {
+                if l.dirty {
+                    victims.push(Victim { name: l.name, dirty: true });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        victims
+    }
+
+    /// Number of resident lines (for tests and occupancy reporting).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over resident block names (used by inclusion checks in
+    /// tests).
+    pub fn resident_names(&self) -> impl Iterator<Item = BlockName> + '_ {
+        self.sets.iter().flatten().map(|l| l.name)
+    }
+
+    // --- LLC sharer tracking (MESI-style directory-in-LLC) ---
+
+    /// Adds `core` to the sharer set of `name` (LLC use only).
+    pub fn add_sharer(&mut self, name: BlockName, core: usize) {
+        let idx = self.set_index(name);
+        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
+            line.sharers |= 1 << core;
+        }
+    }
+
+    /// Removes `core` from the sharer set of `name` (LLC use only).
+    pub fn remove_sharer(&mut self, name: BlockName, core: usize) {
+        let idx = self.set_index(name);
+        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
+            line.sharers &= !(1 << core);
+        }
+    }
+
+    /// Returns the sharer bitmap of `name` (LLC use only).
+    pub fn sharers(&self, name: BlockName) -> u32 {
+        let idx = self.set_index(name);
+        self.sets[idx]
+            .iter()
+            .find(|l| l.name == name)
+            .map_or(0, |l| l.sharers)
+    }
+
+    fn retain_update(&mut self, mut f: impl FnMut(&mut Line) -> bool) {
+        for set in &mut self.sets {
+            set.retain_mut(|l| f(l));
+        }
+    }
+}
+
+/// Returns the `(asid, virtual page number)` of a virtually-named block.
+fn page_of(name: BlockName) -> Option<(Asid, u64)> {
+    match name {
+        BlockName::Virt(asid, line) => {
+            Some((asid, line.as_u64() >> (PAGE_SHIFT - hvc_types::LINE_SHIFT)))
+        }
+        BlockName::Phys(_) => None,
+    }
+}
+
+/// Returns the block names of all 64 lines of a virtual page — a helper
+/// for page-granularity operations on physical names.
+#[cfg(test)]
+pub(crate) fn lines_of_virt_page(asid: Asid, vpage: u64) -> impl Iterator<Item = BlockName> {
+    let lines_per_page = 1u64 << (PAGE_SHIFT - hvc_types::LINE_SHIFT);
+    (0..lines_per_page)
+        .map(move |i| BlockName::Virt(asid, LineAddr::new(vpage * lines_per_page + i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvc_types::Cycles;
+
+    fn tiny() -> Cache {
+        // 4 lines, 2 ways, 2 sets.
+        Cache::new(CacheConfig::new(256, 2, Cycles::new(1)))
+    }
+
+    fn v(asid: u16, line: u64) -> BlockName {
+        BlockName::Virt(Asid::new(asid), LineAddr::new(line))
+    }
+
+    fn p(line: u64) -> BlockName {
+        BlockName::Phys(LineAddr::new(line))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(v(1, 0), false));
+        c.fill(v(1, 0), false, Permissions::RW);
+        assert!(c.access(v(1, 0), false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.fill(v(1, 0), false, Permissions::RW);
+        c.fill(v(1, 2), false, Permissions::RW);
+        c.access(v(1, 0), false); // make line 0 most recent
+        let victim = c.fill(v(1, 4), false, Permissions::RW).expect("eviction");
+        assert_eq!(victim.name, v(1, 2));
+    }
+
+    #[test]
+    fn dirty_victims_are_reported() {
+        let mut c = tiny();
+        c.fill(v(1, 0), true, Permissions::RW);
+        c.fill(v(1, 2), false, Permissions::RW);
+        let victim = c.fill(v(1, 4), false, Permissions::RW).unwrap();
+        assert_eq!(victim, Victim { name: v(1, 0), dirty: true });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_sets_dirty_bit() {
+        let mut c = tiny();
+        c.fill(v(1, 0), false, Permissions::RW);
+        c.access(v(1, 0), true);
+        let victim = c.invalidate(v(1, 0)).unwrap();
+        assert!(victim.dirty);
+    }
+
+    #[test]
+    fn clean_clears_dirty() {
+        let mut c = tiny();
+        c.fill(v(1, 0), true, Permissions::RW);
+        c.clean(v(1, 0));
+        assert!(!c.invalidate(v(1, 0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(v(1, 0), false, Permissions::RW);
+        assert!(c.fill(v(1, 0), true, Permissions::RW).is_none());
+        assert_eq!(c.occupancy(), 1);
+        // Dirty bit merged.
+        assert!(c.invalidate(v(1, 0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn asid_distinguishes_same_line() {
+        let mut c = tiny();
+        c.fill(v(1, 0), false, Permissions::RW);
+        assert!(!c.access(v(2, 0), false), "homonym must not hit");
+        assert!(c.contains(v(1, 0)));
+        assert!(!c.contains(v(2, 0)));
+    }
+
+    #[test]
+    fn phys_and_virt_names_are_disjoint() {
+        let mut c = tiny();
+        c.fill(v(1, 0), false, Permissions::RW);
+        assert!(!c.access(p(0), false));
+    }
+
+    #[test]
+    fn flush_virt_page_removes_all_lines_of_page() {
+        let mut c = Cache::new(CacheConfig::new(64 * 128, 2, Cycles::new(1)));
+        // Page 0 of ASID 1: lines 0..64.
+        for name in lines_of_virt_page(Asid::new(1), 0) {
+            c.fill(name, false, Permissions::RW);
+        }
+        c.access(v(1, 5), true); // dirty one line
+        let victims = c.flush_virt_page(Asid::new(1), 0);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].name, v(1, 5));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn flush_asid_spares_other_spaces() {
+        let mut c = tiny();
+        c.fill(v(1, 0), true, Permissions::RW);
+        c.fill(v(2, 1), false, Permissions::RW);
+        c.fill(p(3), false, Permissions::RW);
+        let victims = c.flush_asid(Asid::new(1));
+        assert_eq!(victims.len(), 1);
+        assert!(!c.contains(v(1, 0)));
+        assert!(c.contains(v(2, 1)));
+        assert!(c.contains(p(3)));
+    }
+
+    #[test]
+    fn downgrade_page_clears_write_permission() {
+        let mut c = tiny();
+        c.fill(v(1, 0), false, Permissions::RW);
+        c.downgrade_page_read_only(Asid::new(1), 0);
+        assert_eq!(c.permissions(v(1, 0)), Some(Permissions::READ));
+    }
+
+    #[test]
+    fn sharer_tracking() {
+        let mut c = tiny();
+        c.fill(p(0), false, Permissions::RW);
+        c.add_sharer(p(0), 0);
+        c.add_sharer(p(0), 2);
+        assert_eq!(c.sharers(p(0)), 0b101);
+        c.remove_sharer(p(0), 0);
+        assert_eq!(c.sharers(p(0)), 0b100);
+        assert_eq!(c.sharers(p(99)), 0);
+    }
+
+    #[test]
+    fn lines_of_page_enumerates_64_lines() {
+        let names: Vec<_> = lines_of_virt_page(Asid::new(1), 2).collect();
+        assert_eq!(names.len(), 64);
+        assert_eq!(names[0], v(1, 128));
+        assert_eq!(names[63], v(1, 191));
+    }
+}

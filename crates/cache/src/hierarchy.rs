@@ -1,0 +1,484 @@
+//! A multi-core cache hierarchy: private L1I/L1D/L2 per core, shared
+//! inclusive LLC, MESI-style coherence over hybrid block names.
+
+use crate::{Cache, CacheStats, HierarchyConfig, Victim};
+use hvc_types::{AccessKind, Asid, BlockName, Cycles, Permissions};
+
+/// The outcome of one hierarchy access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Level that supplied the block: `0` = L1, `1` = L2, `2` = LLC,
+    /// `None` = missed everywhere (main memory must be accessed).
+    pub hit_level: Option<u8>,
+    /// Lookup latency through the levels traversed (DRAM not included —
+    /// the caller performs delayed translation and the memory access).
+    pub latency: Cycles,
+    /// Dirty LLC victim displaced by the (auto-)fill, if any. The caller
+    /// owns its writeback (which needs delayed translation under hybrid
+    /// virtual caching).
+    pub llc_victim: Option<Victim>,
+}
+
+impl AccessResult {
+    /// `true` if the access missed the entire on-chip hierarchy.
+    pub fn llc_miss(&self) -> bool {
+        self.hit_level.is_none()
+    }
+}
+
+/// A full cache hierarchy operating on [`BlockName`]s.
+///
+/// Because every physical block has exactly one name (the paper's
+/// correctness invariant), coherence needs no reverse translation: the
+/// LLC doubles as a directory keyed by the same name the private caches
+/// use.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    coherence_invalidations: u64,
+    memory_writebacks: u64,
+}
+
+impl Hierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        Hierarchy {
+            l1i: (0..config.cores).map(|_| Cache::new(config.l1i.clone())).collect(),
+            l1d: (0..config.cores).map(|_| Cache::new(config.l1d.clone())).collect(),
+            l2: (0..config.cores).map(|_| Cache::new(config.l2.clone())).collect(),
+            llc: Cache::new(config.llc.clone()),
+            config,
+            coherence_invalidations: 0,
+            memory_writebacks: 0,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Accesses `name` from `core` with read/write permissions cached as
+    /// given (stored in the tag on fill, per the paper's Figure 2).
+    ///
+    /// On a complete miss the block is auto-filled into LLC, L2 and L1
+    /// (the simulator carries no data, so fill and access fold together);
+    /// the returned latency covers the on-chip lookups only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_with_perm(
+        &mut self,
+        core: usize,
+        name: BlockName,
+        kind: AccessKind,
+        perm: Permissions,
+    ) -> AccessResult {
+        assert!(core < self.config.cores, "core {core} out of range");
+        let write = kind.is_write();
+        // MESI upgrade: any write must remove other cores' copies, even if
+        // the writer hits its own (Shared-state) L1 copy.
+        if write && self.config.cores > 1 {
+            self.invalidate_other_sharers(core, name);
+        }
+        let mut latency = if kind.is_fetch() {
+            self.config.l1i.latency
+        } else {
+            self.config.l1d.latency
+        };
+
+        // L1.
+        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        if l1.access(name, write) {
+            return AccessResult { hit_level: Some(0), latency, llc_victim: None };
+        }
+
+        // L2.
+        latency += self.config.l2.latency;
+        if self.l2[core].access(name, write) {
+            self.fill_l1(core, kind, name, write, perm);
+            return AccessResult { hit_level: Some(1), latency, llc_victim: None };
+        }
+
+        // LLC.
+        latency += self.config.llc.latency;
+        if self.llc.access(name, write) {
+            self.fill_private(core, kind, name, write, perm);
+            self.llc.add_sharer(name, core);
+            return AccessResult { hit_level: Some(2), latency, llc_victim: None };
+        }
+
+        // Miss everywhere: fill bottom-up, maintaining inclusion.
+        let llc_victim = self.fill_miss(core, kind, name, write, perm);
+        AccessResult { hit_level: None, latency, llc_victim }
+    }
+
+    /// Accesses with default read-write permissions.
+    pub fn access(&mut self, core: usize, name: BlockName, kind: AccessKind) -> AccessResult {
+        self.access_with_perm(core, name, kind, Permissions::RW)
+    }
+
+    /// Probes the hierarchy without filling on a complete miss — the
+    /// system simulator uses this so the fill can carry the permissions
+    /// produced by delayed translation ([`Hierarchy::fill_miss`]).
+    pub fn lookup(&mut self, core: usize, name: BlockName, kind: AccessKind) -> AccessResult {
+        assert!(core < self.config.cores, "core {core} out of range");
+        let write = kind.is_write();
+        if write && self.config.cores > 1 {
+            self.invalidate_other_sharers(core, name);
+        }
+        let mut latency = if kind.is_fetch() {
+            self.config.l1i.latency
+        } else {
+            self.config.l1d.latency
+        };
+        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        if l1.access(name, write) {
+            return AccessResult { hit_level: Some(0), latency, llc_victim: None };
+        }
+        latency += self.config.l2.latency;
+        if self.l2[core].access(name, write) {
+            // Promote with the permissions already cached at L2.
+            let perm = self.l2[core].permissions(name).unwrap_or(Permissions::RW);
+            self.fill_l1(core, kind, name, write, perm);
+            return AccessResult { hit_level: Some(1), latency, llc_victim: None };
+        }
+        latency += self.config.llc.latency;
+        if self.llc.access(name, write) {
+            let perm = self.llc.permissions(name).unwrap_or(Permissions::RW);
+            self.fill_private(core, kind, name, write, perm);
+            self.llc.add_sharer(name, core);
+            return AccessResult { hit_level: Some(2), latency, llc_victim: None };
+        }
+        AccessResult { hit_level: None, latency, llc_victim: None }
+    }
+
+    /// Installs a block after a complete miss (memory returned the data),
+    /// with the permissions obtained from (delayed) translation. Returns
+    /// a dirty LLC victim needing a writeback, if any.
+    pub fn fill_miss(
+        &mut self,
+        core: usize,
+        kind: AccessKind,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+    ) -> Option<Victim> {
+        let victim = self.fill_llc(name, dirty, perm);
+        self.fill_private(core, kind, name, dirty, perm);
+        self.llc.add_sharer(name, core);
+        victim
+    }
+
+    /// Returns the permission bits cached for `name`, looking from the L1
+    /// of `core` outwards (used by the front-end to enforce r/o sharing).
+    pub fn cached_permissions(&self, core: usize, name: BlockName) -> Option<Permissions> {
+        self.l1d[core]
+            .permissions(name)
+            .or_else(|| self.l1i[core].permissions(name))
+            .or_else(|| self.l2[core].permissions(name))
+            .or_else(|| self.llc.permissions(name))
+    }
+
+    /// Probes the whole hierarchy for `name` without side effects.
+    pub fn contains(&self, name: BlockName) -> bool {
+        self.llc.contains(name)
+            || self.l1i.iter().any(|c| c.contains(name))
+            || self.l1d.iter().any(|c| c.contains(name))
+            || self.l2.iter().any(|c| c.contains(name))
+    }
+
+    /// Flushes all lines of virtual page `(asid, vpage)` hierarchy-wide;
+    /// returns the number of dirty lines written back to memory. Used by
+    /// the OS for unmap / remap / synonym-status transitions.
+    pub fn flush_virt_page(&mut self, asid: Asid, vpage: u64) -> u64 {
+        let mut dirty = 0u64;
+        for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
+            dirty += c.flush_virt_page(asid, vpage).len() as u64;
+        }
+        dirty += self.llc.flush_virt_page(asid, vpage).len() as u64;
+        self.memory_writebacks += dirty;
+        dirty
+    }
+
+    /// Downgrades cached permissions of a virtual page to read-only in
+    /// every level (content-based-sharing transition; no flush needed).
+    pub fn downgrade_page_read_only(&mut self, asid: Asid, vpage: u64) {
+        for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
+            c.downgrade_page_read_only(asid, vpage);
+        }
+        self.llc.downgrade_page_read_only(asid, vpage);
+    }
+
+    /// Flushes every line of an address space (process exit).
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        let mut dirty = 0u64;
+        for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
+            dirty += c.flush_asid(asid).iter().filter(|v| v.dirty).count() as u64;
+        }
+        dirty += self.llc.flush_asid(asid).iter().filter(|v| v.dirty).count() as u64;
+        self.memory_writebacks += dirty;
+        dirty
+    }
+
+    /// Gathers statistics from all levels.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            l1i: self.l1i.iter().map(|c| c.stats().clone()).collect(),
+            l1d: self.l1d.iter().map(|c| c.stats().clone()).collect(),
+            l2: self.l2.iter().map(|c| c.stats().clone()).collect(),
+            llc: self.llc.stats().clone(),
+            coherence_invalidations: self.coherence_invalidations,
+            memory_writebacks: self.memory_writebacks,
+        }
+    }
+
+    /// Resets statistics on every level (contents kept — useful for
+    /// warm-up phases).
+    pub fn reset_stats(&mut self) {
+        for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
+            c.reset_stats();
+        }
+        self.llc.reset_stats();
+        self.coherence_invalidations = 0;
+        self.memory_writebacks = 0;
+    }
+
+    // --- internals ---
+
+    fn fill_l1(&mut self, core: usize, kind: AccessKind, name: BlockName, dirty: bool, perm: Permissions) {
+        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        if let Some(v) = l1.fill(name, dirty, perm) {
+            if v.dirty {
+                // Write-back into L2 (inclusive: the line is resident there).
+                self.l2[core].fill(v.name, true, perm);
+            }
+        }
+    }
+
+    fn fill_private(&mut self, core: usize, kind: AccessKind, name: BlockName, dirty: bool, perm: Permissions) {
+        if let Some(v) = self.l2[core].fill(name, dirty, perm) {
+            // L2 victim: its dirty state merges into the (inclusive) LLC;
+            // also evict from L1s to keep L2⊇L1 inclusion simple.
+            self.evict_from_l1s(core, v.name);
+            if v.dirty {
+                self.llc.fill(v.name, true, perm);
+            }
+            self.llc.remove_sharer(v.name, core);
+        }
+        self.fill_l1(core, kind, name, dirty, perm);
+    }
+
+    fn fill_llc(&mut self, name: BlockName, dirty: bool, perm: Permissions) -> Option<Victim> {
+        let victim = self.llc.fill(name, dirty, perm)?;
+        // Inclusive LLC: back-invalidate the victim from every private
+        // cache; any dirty private copy makes the victim dirty.
+        let mut dirty_above = false;
+        for core in 0..self.config.cores {
+            dirty_above |= self.evict_from_l1s(core, victim.name);
+            if let Some(v) = self.l2[core].invalidate(victim.name) {
+                dirty_above |= v.dirty;
+            }
+        }
+        let victim = Victim { name: victim.name, dirty: victim.dirty || dirty_above };
+        if victim.dirty {
+            self.memory_writebacks += 1;
+        }
+        victim.dirty.then_some(victim)
+    }
+
+    fn evict_from_l1s(&mut self, core: usize, name: BlockName) -> bool {
+        let mut dirty = false;
+        if let Some(v) = self.l1i[core].invalidate(name) {
+            dirty |= v.dirty;
+        }
+        if let Some(v) = self.l1d[core].invalidate(name) {
+            dirty |= v.dirty;
+        }
+        dirty
+    }
+
+    /// MESI write-invalidate: a write by `core` removes all other cores'
+    /// private copies (their dirty data folds into the LLC copy).
+    fn invalidate_other_sharers(&mut self, core: usize, name: BlockName) {
+        let sharers = self.llc.sharers(name);
+        for other in 0..self.config.cores {
+            if other == core || sharers & (1 << other) == 0 {
+                continue;
+            }
+            let mut dirty = self.evict_from_l1s(other, name);
+            if let Some(v) = self.l2[other].invalidate(name) {
+                dirty |= v.dirty;
+            }
+            if dirty {
+                // Fold the modified data into the LLC copy.
+                self.llc.mark_dirty(name);
+            }
+            self.llc.remove_sharer(name, other);
+            self.coherence_invalidations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvc_types::LineAddr;
+
+    fn v(asid: u16, line: u64) -> BlockName {
+        BlockName::Virt(Asid::new(asid), LineAddr::new(line))
+    }
+
+    fn p(line: u64) -> BlockName {
+        BlockName::Phys(LineAddr::new(line))
+    }
+
+    fn tiny(cores: usize) -> Hierarchy {
+        Hierarchy::new(HierarchyConfig { cores, ..HierarchyConfig::test_tiny() })
+    }
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut h = tiny(1);
+        let r = h.access(0, v(1, 0), AccessKind::Read);
+        assert!(r.llc_miss());
+        assert_eq!(r.latency, Cycles::new(1 + 3 + 9));
+        let r = h.access(0, v(1, 0), AccessKind::Read);
+        assert_eq!(r.hit_level, Some(0));
+        assert_eq!(r.latency, Cycles::new(1));
+    }
+
+    #[test]
+    fn fetch_uses_l1i() {
+        let mut h = tiny(1);
+        h.access(0, v(1, 0), AccessKind::Fetch);
+        // A data read of the same name misses L1D but hits L2 (filled on
+        // the fetch path).
+        let r = h.access(0, v(1, 0), AccessKind::Read);
+        assert_eq!(r.hit_level, Some(1));
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1() {
+        let mut h = tiny(1);
+        h.access(0, v(1, 0), AccessKind::Read);
+        // Evict line 0 from tiny L1D (512 B, 2-way, 4 sets ⇒ lines 0, 4, 8
+        // share set 0) but not from L2.
+        h.access(0, v(1, 4), AccessKind::Read);
+        h.access(0, v(1, 8), AccessKind::Read);
+        let r = h.access(0, v(1, 0), AccessKind::Read);
+        assert_eq!(r.hit_level, Some(1));
+        let r = h.access(0, v(1, 0), AccessKind::Read);
+        assert_eq!(r.hit_level, Some(0), "L2 hit should refill L1");
+    }
+
+    #[test]
+    fn other_core_read_hits_shared_llc() {
+        let mut h = tiny(2);
+        h.access(0, p(0), AccessKind::Read);
+        let r = h.access(1, p(0), AccessKind::Read);
+        assert_eq!(r.hit_level, Some(2));
+    }
+
+    #[test]
+    fn write_invalidates_other_cores_copies() {
+        let mut h = tiny(2);
+        h.access(0, p(0), AccessKind::Read);
+        h.access(1, p(0), AccessKind::Read);
+        // Core 1 writes: core 0's private copies must go.
+        let r = h.access(1, p(0), AccessKind::Write);
+        assert_eq!(r.hit_level, Some(0)); // it had its own L1 copy? No — write hits its L1.
+        let s = h.stats();
+        // Core 0 re-reads: must not hit its L1 (invalidated).
+        let r0 = h.access(0, p(0), AccessKind::Read);
+        assert!(r0.hit_level >= Some(2), "copy must come from LLC, got {:?}", r0.hit_level);
+        assert!(s.coherence_invalidations >= 1);
+    }
+
+    #[test]
+    fn inclusive_llc_back_invalidates() {
+        let mut h = tiny(1);
+        let cfg = h.config().clone();
+        let llc_lines = cfg.llc.lines();
+        // Touch enough distinct lines mapping set 0 of the LLC to evict
+        // the first one.
+        let sets = cfg.llc.sets() as u64;
+        h.access(0, v(1, 0), AccessKind::Read);
+        for i in 1..=cfg.llc.ways as u64 {
+            h.access(0, v(1, i * sets), AccessKind::Read);
+        }
+        assert!(!h.contains(v(1, 0)), "victim must leave every level");
+        let _ = llc_lines;
+    }
+
+    #[test]
+    fn dirty_llc_victim_is_reported_and_counted() {
+        let mut h = tiny(1);
+        let sets = h.config().llc.sets() as u64;
+        h.access(0, v(1, 0), AccessKind::Write);
+        let mut saw_victim = false;
+        for i in 1..=h.config().llc.ways as u64 + 1 {
+            let r = h.access(0, v(1, i * sets), AccessKind::Read);
+            if let Some(vv) = r.llc_victim {
+                assert_eq!(vv.name, v(1, 0));
+                assert!(vv.dirty);
+                saw_victim = true;
+                break;
+            }
+        }
+        assert!(saw_victim);
+        assert!(h.stats().memory_writebacks >= 1);
+    }
+
+    #[test]
+    fn flush_virt_page_hits_all_levels() {
+        let mut h = tiny(1);
+        h.access(0, v(1, 0), AccessKind::Write); // page 0 (lines 0..64)
+        h.access(0, v(1, 63), AccessKind::Read);
+        let dirty = h.flush_virt_page(Asid::new(1), 0);
+        assert!(dirty >= 1);
+        assert!(!h.contains(v(1, 0)));
+        assert!(!h.contains(v(1, 63)));
+    }
+
+    #[test]
+    fn flush_asid_leaves_others() {
+        let mut h = tiny(1);
+        h.access(0, v(1, 0), AccessKind::Read);
+        h.access(0, v(2, 1), AccessKind::Read);
+        h.flush_asid(Asid::new(1));
+        assert!(!h.contains(v(1, 0)));
+        assert!(h.contains(v(2, 1)));
+    }
+
+    #[test]
+    fn permissions_are_cached_and_downgradable() {
+        let mut h = tiny(1);
+        h.access_with_perm(0, v(1, 0), AccessKind::Read, Permissions::RW);
+        assert_eq!(h.cached_permissions(0, v(1, 0)), Some(Permissions::RW));
+        h.downgrade_page_read_only(Asid::new(1), 0);
+        assert_eq!(h.cached_permissions(0, v(1, 0)), Some(Permissions::READ));
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut h = tiny(1);
+        h.access(0, v(1, 0), AccessKind::Read);
+        h.reset_stats();
+        let s = h.stats();
+        assert_eq!(s.l1d[0].accesses(), 0);
+        assert_eq!(s.llc.accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut h = tiny(1);
+        h.access(1, v(1, 0), AccessKind::Read);
+    }
+}

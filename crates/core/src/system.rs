@@ -1,0 +1,1012 @@
+//! The native (non-virtualized) full-system simulator.
+
+use crate::config::{SystemConfig, TranslationScheme};
+use crate::core_model::CoreModel;
+use crate::stats::{RunReport, TranslationCounters};
+use hvc_cache::Hierarchy;
+use hvc_mem::Dram;
+use hvc_os::{FlushRequest, Kernel, Pte};
+use hvc_segment::ManySegmentTranslator;
+use hvc_tlb::{PageWalker, Tlb, TlbHit, TwoLevelTlb};
+use hvc_types::{
+    AccessKind, Asid, BlockName, Cycles, MemRef, PhysAddr, TraceItem, VirtAddr,
+};
+use hvc_workloads::WorkloadInstance;
+use std::collections::HashMap;
+
+/// The full-system, trace-driven simulator for native execution.
+///
+/// One instance owns the OS ([`Kernel`]), the hybrid cache hierarchy,
+/// DRAM, and the translation machinery selected by
+/// [`TranslationScheme`]. Feed it a workload with [`SystemSim::run`].
+pub struct SystemSim {
+    kernel: Kernel,
+    config: SystemConfig,
+    scheme: TranslationScheme,
+    hierarchy: Hierarchy,
+    dram: Dram,
+    core: CoreModel,
+    /// Per-core private translation structures (the delayed structures
+    /// after the LLC are shared, as in the paper).
+    dtlb: Vec<TwoLevelTlb>,
+    walker: Vec<PageWalker>,
+    syn_tlb: Vec<Tlb>,
+    delayed_tlb: Tlb,
+    many: Option<ManySegmentTranslator>,
+    /// Address-space → core placement (round-robin on first sight).
+    placement: HashMap<u16, usize>,
+    /// Per-ASID instruction-fetch cursor within the synthetic code
+    /// region (when `model_ifetch` is on).
+    fetch_cursor: HashMap<u16, u64>,
+    /// Last ASID that ran on each core (context-switch detection: a
+    /// switch reloads the synonym-filter registers from memory).
+    last_asid: Vec<Option<Asid>>,
+    counters: TranslationCounters,
+    refs: u64,
+}
+
+impl SystemSim {
+    /// Builds a simulator over an already-populated kernel (instantiate
+    /// workloads first so eager segments exist for the many-segment
+    /// scheme).
+    pub fn new(kernel: Kernel, config: SystemConfig, scheme: TranslationScheme) -> Self {
+        let many = match scheme {
+            TranslationScheme::HybridManySegment { segment_cache: true } => {
+                Some(ManySegmentTranslator::isca2016(kernel.segments()))
+            }
+            TranslationScheme::HybridManySegment { segment_cache: false } => {
+                Some(ManySegmentTranslator::isca2016_no_sc(kernel.segments()))
+            }
+            _ => None,
+        };
+        let delayed_entries = match scheme {
+            TranslationScheme::HybridDelayedTlb(n) | TranslationScheme::EnigmaDelayedTlb(n) => n,
+            _ => 1024,
+        };
+        let cores = config.hierarchy.cores;
+        SystemSim {
+            hierarchy: Hierarchy::new(config.hierarchy.clone()),
+            dram: Dram::new(config.dram.clone()),
+            core: CoreModel::new(config.width, config.hidden_latency),
+            dtlb: (0..cores)
+                .map(|_| TwoLevelTlb::new(config.l1_tlb.clone(), config.l2_tlb.clone()))
+                .collect(),
+            walker: (0..cores).map(|_| PageWalker::new()).collect(),
+            syn_tlb: (0..cores).map(|_| Tlb::new(config.synonym_tlb.clone())).collect(),
+            delayed_tlb: Tlb::new(hvc_tlb::TlbConfig::delayed(delayed_entries)),
+            many,
+            placement: HashMap::new(),
+            fetch_cursor: HashMap::new(),
+            last_asid: vec![None; cores],
+            kernel,
+            config,
+            scheme,
+            counters: TranslationCounters::default(),
+            refs: 0,
+        }
+    }
+
+    /// The core an address space runs on (round-robin placement on first
+    /// appearance — a multiprogrammed schedule).
+    fn core_of(&mut self, asid: Asid) -> usize {
+        let next = self.placement.len() % self.config.hierarchy.cores;
+        *self.placement.entry(asid.as_u16()).or_insert(next)
+    }
+
+    /// The scheme under test.
+    pub fn scheme(&self) -> TranslationScheme {
+        self.scheme
+    }
+
+    /// The kernel (for post-run inspection of spaces and segments).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Resets all statistics (cache/TLB/filter contents are kept, and
+    /// absolute simulation time keeps advancing) so that measurements
+    /// exclude warm-up. Typical use: `run` a warm-up slice, then
+    /// `reset_stats`, then `run` the measured slice.
+    pub fn reset_stats(&mut self) {
+        self.counters = TranslationCounters::default();
+        self.refs = 0;
+        self.hierarchy.reset_stats();
+        self.dram.reset_stats();
+        for t in &mut self.dtlb {
+            t.reset_stats();
+        }
+        for t in &mut self.syn_tlb {
+            t.reset_stats();
+        }
+        self.delayed_tlb.reset_stats();
+        for w in &mut self.walker {
+            w.reset_stats();
+        }
+        if let Some(m) = &mut self.many {
+            m.reset_stats();
+        }
+        self.core.mark();
+    }
+
+    /// Runs `refs` warm-up references (not measured) and then resets
+    /// statistics.
+    pub fn warm_up(&mut self, workload: &mut WorkloadInstance, refs: usize) {
+        let mlp = workload.mlp();
+        for _ in 0..refs {
+            let item = workload.next_item();
+            self.step(item, mlp);
+        }
+        self.reset_stats();
+    }
+
+    /// Runs `refs` memory references of `workload` and reports.
+    pub fn run(&mut self, workload: &mut WorkloadInstance, refs: usize) -> RunReport {
+        let mlp = workload.mlp();
+        for _ in 0..refs {
+            let item = workload.next_item();
+            self.step(item, mlp);
+        }
+        self.report()
+    }
+
+    /// Replays a pre-recorded trace (e.g. loaded with `hvc-trace`) with
+    /// the given memory-level-parallelism hint.
+    pub fn run_trace<I>(&mut self, items: I, mlp: u32) -> RunReport
+    where
+        I: IntoIterator<Item = hvc_types::TraceItem>,
+    {
+        for item in items {
+            self.step(item, mlp);
+        }
+        self.report()
+    }
+
+    /// Simulates a single trace item.
+    pub fn step(&mut self, item: TraceItem, mlp: u32) {
+        self.core.retire(item.instructions());
+        self.refs += 1;
+        let core = self.core_of(item.mref.asid);
+        // Context switch: under hybrid schemes the OS loads the incoming
+        // process's Bloom-filter pair into the core's filter registers
+        // (two 1K-bit reads from memory, Section III-B).
+        if self.last_asid[core] != Some(item.mref.asid) {
+            self.last_asid[core] = Some(item.mref.asid);
+            if self.scheme.is_hybrid() {
+                self.counters.filter_reloads += 1;
+            }
+        }
+        if self.config.model_ifetch {
+            let fetch = self.synth_ifetch(item.mref.asid);
+            let flat = match self.scheme {
+                TranslationScheme::Baseline => self.step_baseline(core, fetch),
+                TranslationScheme::Ideal => self.step_ideal(core, fetch),
+                TranslationScheme::HybridDelayedTlb(_)
+                | TranslationScheme::HybridManySegment { .. } => self.step_hybrid(core, fetch),
+                TranslationScheme::EnigmaDelayedTlb(_) => self.step_enigma(core, fetch),
+            };
+            // Fetch latency is pipelined ahead of execution; only
+            // out-of-code-region stalls would matter and the hot loop
+            // stays resident, so charge nothing beyond the structures'
+            // energy/statistics.
+            let _ = flat;
+        }
+        let latency = match self.scheme {
+            TranslationScheme::Baseline => self.step_baseline(core, item.mref),
+            TranslationScheme::Ideal => self.step_ideal(core, item.mref),
+            TranslationScheme::HybridDelayedTlb(_)
+            | TranslationScheme::HybridManySegment { .. } => self.step_hybrid(core, item.mref),
+            TranslationScheme::EnigmaDelayedTlb(_) => self.step_enigma(core, item.mref),
+        };
+        self.core.memory(latency, mlp);
+    }
+
+    /// Synthesizes the next instruction fetch of `asid`: a walk around a
+    /// small hot code loop (128 lines = 8 KB) in a lazily-created RX
+    /// region at a canonical text address.
+    fn synth_ifetch(&mut self, asid: Asid) -> MemRef {
+        const TEXT_BASE: u64 = 0x40_0000;
+        const LOOP_LINES: u64 = 128;
+        if !self.fetch_cursor.contains_key(&asid.as_u16()) {
+            // Lazily map the text region (ignore overlap errors if the
+            // workload already mapped something there).
+            let _ = self.kernel.mmap(
+                asid,
+                VirtAddr::new(TEXT_BASE),
+                64 << 10,
+                hvc_types::Permissions::RX,
+                hvc_os::MapIntent::Private,
+            );
+        }
+        let cursor = self.fetch_cursor.entry(asid.as_u16()).or_insert(0);
+        *cursor = (*cursor + 1) % LOOP_LINES;
+        let vaddr = VirtAddr::new(TEXT_BASE + *cursor * 64);
+        MemRef { asid, vaddr, kind: AccessKind::Fetch }
+    }
+
+    /// Builds the report for everything simulated so far.
+    pub fn report(&self) -> RunReport {
+        let mut translation = self.counters.clone();
+        if let Some(m) = &self.many {
+            let (sc_h, sc_m) = m.sc_stats();
+            translation.sc_lookups = sc_h + sc_m;
+            translation.index_cache_accesses = m.index_cache_stats().accesses();
+            translation.segment_table_accesses = m.stats().tree_walks;
+        }
+        RunReport {
+            instructions: self.core.instructions(),
+            cycles: self.core.cycles(),
+            refs: self.refs,
+            translation,
+            baseline_tlb_misses: self.dtlb.iter().map(TwoLevelTlb::full_misses).sum(),
+            cache: self.hierarchy.stats(),
+            dram: self.dram.stats().clone(),
+            minor_faults: self.kernel.stats().minor_faults,
+        }
+    }
+
+    /// The many-segment translator's own statistics (if active).
+    pub fn many_segment_stats(&self) -> Option<&hvc_segment::ManySegmentStats> {
+        self.many.as_ref().map(|m| m.stats())
+    }
+
+    // --- per-scheme access paths ---
+
+    /// Conventional physical caching: TLB before L1, walk on miss.
+    fn step_baseline(&mut self, core: usize, mref: MemRef) -> Cycles {
+        let MemRef { asid, vaddr, kind } = mref;
+        self.counters.l1_tlb_lookups += 1;
+        let (hit_pte, hit, tlat) = self.dtlb[core].lookup(asid, vaddr.page_number());
+        if hit != TlbHit::L1 {
+            self.counters.l2_tlb_lookups += 1;
+        }
+        // An L1 TLB hit is overlapped with the VIPT L1 cache access.
+        let mut front = match hit {
+            TlbHit::L1 => Cycles::ZERO,
+            _ => tlat,
+        };
+        let pte = match hit_pte {
+            Some(p) => p,
+            None => {
+                let pte = self.ensure_pte(asid, vaddr, kind);
+                front += self.charged_walk(core, asid, vaddr);
+                self.dtlb[core].insert(asid, vaddr.page_number(), pte);
+                pte
+            }
+        };
+        if pte.shared {
+            self.counters.shared_accesses += 1;
+        }
+        let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+        front + self.phys_access(core, pa, kind)
+    }
+
+    /// Ideal: translation is free; physical naming.
+    fn step_ideal(&mut self, core: usize, mref: MemRef) -> Cycles {
+        let MemRef { asid, vaddr, kind } = mref;
+        let pte = self.ensure_pte(asid, vaddr, kind);
+        if pte.shared {
+            self.counters.shared_accesses += 1;
+        }
+        let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+        self.phys_access(core, pa, kind)
+    }
+
+    /// Hybrid virtual caching: filter → (synonym TLB | virtual path).
+    fn step_hybrid(&mut self, core: usize, mref: MemRef) -> Cycles {
+        let MemRef { asid, vaddr, kind } = mref;
+        self.counters.filter_lookups += 1;
+        let candidate = self
+            .kernel
+            .space(asid)
+            .map(|s| s.filter.is_candidate(vaddr))
+            .unwrap_or(false);
+        if !candidate {
+            // The filter probe overlaps the L1 access: no added latency.
+            return self.virt_access(core, asid, vaddr, kind, None);
+        }
+
+        self.counters.filter_candidates += 1;
+        self.counters.synonym_tlb_lookups += 1;
+        let mut front = self.config.synonym_tlb.latency;
+        let pte = match self.syn_tlb[core].lookup(asid, vaddr.page_number()) {
+            Some(p) => p,
+            None => {
+                self.counters.synonym_tlb_misses += 1;
+                let pte = self.ensure_pte(asid, vaddr, kind);
+                front += self.charged_walk(core, asid, vaddr);
+                // Non-synonym entries are inserted too, so future false
+                // positives are corrected quickly (Section III-A).
+                self.syn_tlb[core].insert(asid, vaddr.page_number(), pte);
+                pte
+            }
+        };
+        if pte.shared {
+            // A true synonym: physically addressed through the hierarchy.
+            self.counters.shared_accesses += 1;
+            let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+            front + self.phys_access(core, pa, kind)
+        } else {
+            // False positive: serve virtually; the known PTE saves the
+            // delayed walk if the line misses the LLC.
+            self.counters.false_positives += 1;
+            front + self.virt_access(core, asid, vaddr, kind, Some(pte))
+        }
+    }
+
+    /// Enigma-like scheme: coarse first-level translation to the
+    /// intermediate space before L1 (collapses synonyms to one canonical
+    /// name, no filter), page-based delayed translation after the LLC.
+    fn step_enigma(&mut self, core: usize, mref: MemRef) -> Cycles {
+        let MemRef { asid, vaddr, kind } = mref;
+        self.counters.enigma_lookups += 1;
+        let (shared, line) = match self.kernel.intermediate_line(asid, vaddr) {
+            Some(x) => x,
+            None => {
+                // Fault the VMA in via the OS, then retry the first level.
+                let _ = self.ensure_pte(asid, vaddr, kind);
+                self.kernel
+                    .intermediate_line(asid, vaddr)
+                    .expect("mapped after fault")
+            }
+        };
+        if shared {
+            self.counters.shared_accesses += 1;
+        }
+        let name = if shared {
+            // Canonical object-relative intermediate name: one name for
+            // all synonym views (homonym-safe via the reserved IA range).
+            BlockName::Virt(Asid::KERNEL, hvc_types::LineAddr::new(line))
+        } else {
+            BlockName::Virt(asid, vaddr.line())
+        };
+        // The first-level segment lookup overlaps the L1 access (large
+        // per-process segment registers): no added latency.
+        self.named_access(core, name, asid, vaddr, kind, None)
+    }
+
+    // --- shared building blocks ---
+
+    /// Physically-named hierarchy access (+DRAM on LLC miss).
+    fn phys_access(&mut self, core: usize, pa: PhysAddr, kind: AccessKind) -> Cycles {
+        let name = BlockName::Phys(pa.line());
+        let r = self.hierarchy.lookup(core, name, kind);
+        let mut lat = r.latency;
+        if r.llc_miss() {
+            let now = self.core.now() + lat;
+            lat += self.dram.access_latency(now, pa, kind.is_write());
+            let victim = self.hierarchy.fill_miss(
+                core,
+                kind,
+                name,
+                kind.is_write(),
+                hvc_types::Permissions::RW,
+            );
+            if let Some(v) = victim {
+                self.write_back(core, v.name);
+            }
+            if self.config.prefetch_next_line {
+                self.prefetch_phys(core, pa);
+            }
+        }
+        lat
+    }
+
+    /// Next-line prefetch under physical naming: stops at the page
+    /// boundary (the next physical line would need a translation).
+    fn prefetch_phys(&mut self, core: usize, pa: PhysAddr) {
+        let next = pa + hvc_types::LINE_SIZE;
+        if next.page_offset() == 0 {
+            self.counters.prefetches_blocked += 1;
+            return;
+        }
+        let name = BlockName::Phys(next.line());
+        if self.hierarchy.contains(name) {
+            return;
+        }
+        self.counters.prefetches += 1;
+        let now = self.core.now();
+        self.dram.access(now, next, false); // background fetch
+        if let Some(v) =
+            self.hierarchy.fill_miss(core, AccessKind::Read, name, false, hvc_types::Permissions::RW)
+        {
+            self.write_back(core, v.name);
+        }
+    }
+
+    /// Next-line prefetch under virtual naming: virtual contiguity lets
+    /// it cross page boundaries; the physical address for the background
+    /// fetch comes from delayed translation (energy counted, no core
+    /// latency).
+    fn prefetch_virt(&mut self, core: usize, name: BlockName, asid: Asid, vaddr: VirtAddr) {
+        let next_va = vaddr.align_down(hvc_types::LINE_SIZE) + hvc_types::LINE_SIZE;
+        let next_name = match name {
+            BlockName::Virt(a, line) if a == Asid::KERNEL => {
+                // Enigma canonical name: stay in the intermediate space —
+                // but only if the next virtual line still belongs to the
+                // same shared object (crossing into an adjacent VMA must
+                // not inherit this object's namespace).
+                match self.kernel.intermediate_line(asid, next_va) {
+                    Some((true, next_ia)) if next_ia == line.as_u64() + 1 => {
+                        BlockName::Virt(a, hvc_types::LineAddr::new(next_ia))
+                    }
+                    _ => return,
+                }
+            }
+            _ => BlockName::Virt(asid, next_va.line()),
+        };
+        if self.hierarchy.contains(next_name) {
+            return;
+        }
+        // Only prefetch lines the process actually mapped.
+        if self.kernel.walk(asid, next_va.page_number()).is_none() {
+            return;
+        }
+        self.counters.prefetches += 1;
+        let (pa, _, perm) = self.delayed_translate_inner(
+            core,
+            asid,
+            next_va,
+            AccessKind::Read,
+            None,
+            false,
+        );
+        let now = self.core.now();
+        self.dram.access(now, pa, false); // background fetch
+        if let Some(v) = self.hierarchy.fill_miss(core, AccessKind::Read, next_name, false, perm) {
+            self.write_back(core, v.name);
+        }
+    }
+
+    /// Virtually-named hierarchy access with delayed translation after an
+    /// LLC miss. `known_pte` short-circuits the delayed walk when the
+    /// front-end already resolved the page (false-positive path).
+    fn virt_access(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+        known_pte: Option<Pte>,
+    ) -> Cycles {
+        let name = BlockName::Virt(asid, vaddr.line());
+        self.named_access(core, name, asid, vaddr, kind, known_pte)
+    }
+
+    /// Hierarchy access under an explicit (virtual or intermediate) block
+    /// name, with delayed translation of `(asid, vaddr)` after LLC misses.
+    fn named_access(
+        &mut self,
+        core: usize,
+        name: BlockName,
+        asid: Asid,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+        known_pte: Option<Pte>,
+    ) -> Cycles {
+        // Enforce cached r/o permissions (content-shared pages): a write
+        // to a read-only cached line faults to the OS, which breaks COW
+        // and flushes the stale lines.
+        if kind.is_write() {
+            if let Some(p) = self.hierarchy.cached_permissions(core, name) {
+                if !p.is_writable() {
+                    let _ = self.ensure_pte(asid, vaddr, kind);
+                }
+            }
+        }
+        let r = self.hierarchy.lookup(core, name, kind);
+        let mut lat = r.latency;
+        if self.config.parallel_delayed && !r.llc_miss() && r.hit_level == Some(2) {
+            // Parallel mode: an LLC access that *hits* still consulted
+            // the delayed structures speculatively — pure energy cost
+            // (demand=false keeps the speculative work out of the
+            // demand-miss metrics).
+            let _ = self.delayed_translate_inner(core, asid, vaddr, kind, known_pte, false);
+        }
+        if r.llc_miss() {
+            let (pa, tlat, perm) = self.delayed_translate(core, asid, vaddr, kind, known_pte);
+            // Serial: translation starts after the miss is known.
+            // Parallel: it overlapped the LLC lookup, so only the part
+            // exceeding the LLC latency is exposed.
+            lat += if self.config.parallel_delayed {
+                tlat.saturating_sub(self.config.hierarchy.llc.latency)
+            } else {
+                tlat
+            };
+            let now = self.core.now() + lat;
+            lat += self.dram.access_latency(now, pa, kind.is_write());
+            let victim = self.hierarchy.fill_miss(core, kind, name, kind.is_write(), perm);
+            if let Some(v) = victim {
+                self.write_back(core, v.name);
+            }
+            if self.config.prefetch_next_line {
+                self.prefetch_virt(core, name, asid, vaddr);
+            }
+        }
+        lat
+    }
+
+    /// Delayed translation of a non-synonym address after an LLC miss.
+    fn delayed_translate(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+        known_pte: Option<Pte>,
+    ) -> (PhysAddr, Cycles, hvc_types::Permissions) {
+        self.delayed_translate_inner(core, asid, vaddr, kind, known_pte, true)
+    }
+
+    /// `demand` distinguishes demand-path translations (counted in the
+    /// TLB-miss metrics) from writeback-path translations (counted only
+    /// as lookups, for energy).
+    fn delayed_translate_inner(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+        known_pte: Option<Pte>,
+        demand: bool,
+    ) -> (PhysAddr, Cycles, hvc_types::Permissions) {
+        if let TranslationScheme::HybridManySegment { .. } = self.scheme {
+            let Self { many, dram, core: core_model, kernel, counters, .. } = self;
+            let m = many.as_mut().expect("many-segment scheme");
+            let now = core_model.now();
+            if let Some((pa, lat)) = m.translate(asid, vaddr, |addr| {
+                counters.pte_reads += 1; // index-tree node fetch from memory
+                dram.access_latency(now, addr, false)
+            }) {
+                // Permissions ride the segment (whole-VMA granularity).
+                let perm = kernel
+                    .space(asid)
+                    .and_then(|s| s.vma(vaddr))
+                    .map(|v| v.perm)
+                    .unwrap_or(hvc_types::Permissions::RW);
+                return (pa, lat, perm);
+            }
+            // Not covered by any segment: fault to the OS. Under the
+            // reservation policy this commits a sub-segment (changing the
+            // segment table), so the hardware structures re-mirror it; a
+            // plain paging-managed page falls back to a walk.
+            let version_before = self.kernel.segments().version();
+            let pte = self.ensure_pte(asid, vaddr, kind);
+            if self.kernel.segments().version() != version_before {
+                let m = self.many.as_mut().expect("many-segment scheme");
+                m.rebuild(self.kernel.segments());
+                self.counters.segment_table_rebuilds += 1;
+            }
+            let lat = self.charged_walk(core, asid, vaddr);
+            let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+            return (pa, lat, pte.perm);
+        }
+
+        // Page-granularity delayed TLB.
+        self.counters.delayed_tlb_lookups += 1;
+        let tlb_lat = self.delayed_tlb.config().latency;
+        match self.delayed_tlb.lookup(asid, vaddr.page_number()) {
+            Some(pte) => {
+                let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+                (pa, tlb_lat, pte.perm)
+            }
+            None => {
+                if demand {
+                    self.counters.delayed_tlb_misses += 1;
+                }
+                let pte = known_pte.unwrap_or_else(|| self.ensure_pte(asid, vaddr, kind));
+                let walk = self.charged_walk(core, asid, vaddr);
+                self.delayed_tlb.insert(asid, vaddr.page_number(), pte);
+                let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+                (pa, tlb_lat + walk, pte.perm)
+            }
+        }
+    }
+
+    /// Walks the page table in hardware, charging PTE reads through the
+    /// (physically-addressed) cache hierarchy.
+    fn charged_walk(&mut self, core_idx: usize, asid: Asid, vaddr: VirtAddr) -> Cycles {
+        let Self { walker, kernel, hierarchy, dram, core, counters, .. } = self;
+        let now = core.now();
+        walker[core_idx]
+            .walk(kernel, asid, vaddr.page_number(), |addr| {
+                counters.pte_reads += 1;
+                let name = BlockName::Phys(addr.line());
+                let r = hierarchy.lookup(core_idx, name, AccessKind::Read);
+                let mut lat = r.latency;
+                if r.llc_miss() {
+                    lat += dram.access_latency(now + lat, addr, false);
+                    hierarchy.fill_miss(
+                        core_idx,
+                        AccessKind::Read,
+                        name,
+                        false,
+                        hvc_types::Permissions::RW,
+                    );
+                }
+                lat
+            })
+            .map(|(_, lat)| lat)
+            .expect("page mapped by ensure_pte before walking")
+    }
+
+    /// Guarantees `(asid, vaddr)` is mapped with permissions allowing
+    /// `kind`, servicing demand faults and COW breaks via the OS, and
+    /// applies any flushes the OS requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside every VMA (a workload bug).
+    fn ensure_pte(&mut self, asid: Asid, vaddr: VirtAddr, kind: AccessKind) -> Pte {
+        let pte = self
+            .kernel
+            .touch(asid, vaddr, kind)
+            .unwrap_or_else(|e| panic!("access {vaddr} in {asid} failed: {e}"));
+        self.apply_flushes();
+        pte
+    }
+
+    /// Applies OS-requested flushes to the hierarchy and all TLBs,
+    /// charging one shootdown's worth of bookkeeping to the counters via
+    /// the kernel's own statistics.
+    fn apply_flushes(&mut self) {
+        for req in self.kernel.drain_flush_requests() {
+            match req {
+                FlushRequest::Page(asid, vpn) => {
+                    self.hierarchy.flush_virt_page(asid, vpn);
+                    let vp = hvc_types::VirtPage::new(vpn);
+                    for t in &mut self.syn_tlb {
+                        t.flush_page(asid, vp);
+                    }
+                    for t in &mut self.dtlb {
+                        t.flush_page(asid, vp);
+                    }
+                    self.delayed_tlb.flush_page(asid, vp);
+                }
+                FlushRequest::Space(asid) => {
+                    self.hierarchy.flush_asid(asid);
+                    for t in &mut self.syn_tlb {
+                        t.flush_asid(asid);
+                    }
+                    for t in &mut self.dtlb {
+                        t.flush_asid(asid);
+                    }
+                    self.delayed_tlb.flush_asid(asid);
+                    for w in &mut self.walker {
+                        w.flush_asid(asid);
+                    }
+                }
+                FlushRequest::DowngradeRo(asid, vpn) => {
+                    self.hierarchy.downgrade_page_read_only(asid, vpn);
+                    let vp = hvc_types::VirtPage::new(vpn);
+                    for t in &mut self.syn_tlb {
+                        t.flush_page(asid, vp);
+                    }
+                    for t in &mut self.dtlb {
+                        t.flush_page(asid, vp);
+                    }
+                    self.delayed_tlb.flush_page(asid, vp);
+                }
+            }
+        }
+    }
+
+    /// Writes back a dirty LLC victim. Virtually-named victims need
+    /// delayed translation before reaching DRAM (charged to energy and
+    /// DRAM bandwidth, not to the core's critical path).
+    fn write_back(&mut self, core: usize, name: BlockName) {
+        let pa = match name {
+            BlockName::Phys(line) => PhysAddr::new(line.base_raw()),
+            // Enigma canonical intermediate name (reserved IA range):
+            // decode the shared-object id + offset and resolve directly.
+            // Model note: canonical lines surviving a shm unmap decode to
+            // the object's original frames (shm ids are never reused, so
+            // no aliasing is possible; real hardware would flush the IA
+            // range on unmap).
+            BlockName::Virt(asid, line)
+                if asid == Asid::KERNEL && line.base_raw() & (1 << 46) != 0 =>
+            {
+                self.counters.writeback_translations += 1;
+                let ia = line.base_raw() - (1 << 46);
+                let id = hvc_os::ShmId((ia >> 34) as u32);
+                let offset = ia & ((1 << 34) - 1);
+                match self.kernel.shm_phys_addr(id, offset) {
+                    Some(pa) => pa,
+                    None => return, // object vanished (unmapped): drop
+                }
+            }
+            BlockName::Virt(asid, line) => {
+                self.counters.writeback_translations += 1;
+                let vaddr = VirtAddr::new(line.base_raw());
+                let (pa, _, _) =
+                    self.delayed_translate_inner(core, asid, vaddr, AccessKind::Read, None, false);
+                pa
+            }
+        };
+        let now = self.core.now();
+        self.dram.access(now, pa, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvc_os::AllocPolicy;
+    use hvc_workloads::apps;
+
+    fn run_scheme(scheme: TranslationScheme, policy: AllocPolicy, refs: usize) -> RunReport {
+        let mut kernel = Kernel::new(4 << 30, policy);
+        let mut wl = apps::gups(8 << 20).instantiate(&mut kernel, 3).unwrap();
+        let mut sim = SystemSim::new(kernel, SystemConfig::isca2016(), scheme);
+        sim.run(&mut wl, refs)
+    }
+
+    #[test]
+    fn baseline_counts_tlb_traffic() {
+        let r = run_scheme(TranslationScheme::Baseline, AllocPolicy::DemandPaging, 5000);
+        assert_eq!(r.translation.l1_tlb_lookups, 5000);
+        assert!(r.translation.l2_tlb_lookups > 0);
+        assert!(r.translation.pte_reads > 0);
+        assert!(r.ipc() > 0.0);
+        assert_eq!(r.refs, 5000);
+    }
+
+    #[test]
+    fn hybrid_private_workload_bypasses_tlbs() {
+        let r = run_scheme(
+            TranslationScheme::HybridDelayedTlb(1024),
+            AllocPolicy::DemandPaging,
+            5000,
+        );
+        assert_eq!(r.translation.filter_lookups, 5000);
+        assert_eq!(r.translation.synonym_tlb_lookups, 0, "no synonyms, no candidates");
+        assert!(r.translation.delayed_tlb_lookups > 0, "LLC misses translate");
+        assert_eq!(r.translation.l1_tlb_lookups, 0);
+    }
+
+    #[test]
+    fn ideal_has_no_translation_events() {
+        let r = run_scheme(TranslationScheme::Ideal, AllocPolicy::DemandPaging, 2000);
+        assert_eq!(r.translation.front_tlb_accesses(), 0);
+        assert_eq!(r.translation.filter_lookups, 0);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn many_segment_scheme_translates_via_segments() {
+        let r = run_scheme(
+            TranslationScheme::HybridManySegment { segment_cache: true },
+            AllocPolicy::EagerSegments { split: 1 },
+            5000,
+        );
+        assert!(r.translation.sc_lookups > 0);
+        assert_eq!(r.translation.delayed_tlb_lookups, 0);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn ideal_is_fastest_hybrid_beats_baseline_on_tlb_thrashers() {
+        // The paper's key regime: the page working set (2048 pages of
+        // GUPS-8MB) exceeds the baseline L2 TLB (1024 entries), but the
+        // 8 MB LLC holds all the data — so the baseline keeps paying TLB
+        // misses for cache-resident lines while hybrid virtual caching
+        // needs no translation at all after warm-up.
+        let run = |scheme| {
+            let mut kernel = Kernel::new(4 << 30, AllocPolicy::DemandPaging);
+            let mut wl = apps::gups(8 << 20).instantiate(&mut kernel, 3).unwrap();
+            let mut sim = SystemSim::new(kernel, SystemConfig::isca2016_8mb_llc(), scheme);
+            sim.run(&mut wl, 60_000)
+        };
+        let base = run(TranslationScheme::Baseline);
+        let hybrid = run(TranslationScheme::HybridDelayedTlb(8192));
+        let ideal = run(TranslationScheme::Ideal);
+        assert!(
+            hybrid.ipc() > base.ipc(),
+            "hybrid {} vs baseline {}",
+            hybrid.ipc(),
+            base.ipc()
+        );
+        assert!(ideal.ipc() >= hybrid.ipc() * 0.99, "ideal {} vs hybrid {}", ideal.ipc(), hybrid.ipc());
+    }
+
+    #[test]
+    fn synonym_workload_routes_shared_accesses_through_tlb() {
+        let mut kernel = Kernel::new(8 << 30, AllocPolicy::DemandPaging);
+        let mut wl = apps::postgres().instantiate(&mut kernel, 11).unwrap();
+        let mut sim = SystemSim::new(
+            kernel,
+            SystemConfig::isca2016(),
+            TranslationScheme::HybridDelayedTlb(1024),
+        );
+        let r = sim.run(&mut wl, 20_000);
+        assert!(r.translation.filter_candidates > 0);
+        assert!(r.translation.shared_accesses > 0);
+        // Access reduction: synonym TLB sees only candidates.
+        let reduction = 1.0
+            - r.translation.synonym_tlb_lookups as f64 / r.translation.filter_lookups as f64;
+        assert!(
+            (0.7..1.0).contains(&reduction),
+            "postgres-like TLB access reduction {reduction}"
+        );
+        // False positives exist but are rare relative to all accesses.
+        let fp_rate = r.translation.false_positives as f64 / r.translation.filter_lookups as f64;
+        assert!(fp_rate < 0.05, "false positive rate {fp_rate}");
+    }
+
+    #[test]
+    fn multicore_places_processes_round_robin_and_runs() {
+        let mut kernel = Kernel::new(8 << 30, AllocPolicy::DemandPaging);
+        let mut wl = apps::postgres().instantiate(&mut kernel, 31).unwrap();
+        let mut config = SystemConfig::isca2016();
+        config.hierarchy = hvc_cache::HierarchyConfig::isca2016(4);
+        let mut sim =
+            SystemSim::new(kernel, config, TranslationScheme::HybridDelayedTlb(1024));
+        let r = sim.run(&mut wl, 20_000);
+        assert!(r.ipc() > 0.0);
+        // Four processes → four cores, no context switches after the
+        // first touch of each core.
+        assert_eq!(r.translation.filter_reloads, 4);
+        // All four private L1 data caches saw traffic.
+        for c in 0..4 {
+            assert!(r.cache.l1d[c].accesses() > 0, "core {c} unused");
+        }
+    }
+
+    #[test]
+    fn single_core_multiprogramming_context_switches() {
+        let mut kernel = Kernel::new(8 << 30, AllocPolicy::DemandPaging);
+        let mut wl = apps::postgres().instantiate(&mut kernel, 31).unwrap();
+        let mut sim = SystemSim::new(
+            kernel,
+            SystemConfig::isca2016(),
+            TranslationScheme::HybridDelayedTlb(1024),
+        );
+        let r = sim.run(&mut wl, 1000);
+        // Round-robin interleaving of 4 processes on one core: a filter
+        // reload on almost every reference.
+        assert!(r.translation.filter_reloads > 900);
+    }
+
+    #[test]
+    fn prefetcher_helps_streaming_and_crosses_pages_only_virtually() {
+        let run = |scheme, prefetch: bool| {
+            let mut kernel = Kernel::new(4 << 30, AllocPolicy::DemandPaging);
+            let mut wl = apps::milc().instantiate(&mut kernel, 3).unwrap();
+            let mut config = SystemConfig::isca2016();
+            config.prefetch_next_line = prefetch;
+            let mut sim = SystemSim::new(kernel, config, scheme);
+            sim.run(&mut wl, 30_000)
+        };
+        let base_off = run(TranslationScheme::Baseline, false);
+        let base_on = run(TranslationScheme::Baseline, true);
+        assert!(base_on.cycles < base_off.cycles, "prefetch must help streaming");
+        assert!(base_on.translation.prefetches > 0);
+        assert!(
+            base_on.translation.prefetches_blocked > 0,
+            "physical prefetching stops at page boundaries"
+        );
+
+        let hyb_on = run(TranslationScheme::HybridDelayedTlb(4096), true);
+        assert_eq!(
+            hyb_on.translation.prefetches_blocked, 0,
+            "virtual prefetching crosses page boundaries"
+        );
+        assert!(hyb_on.translation.prefetches > 0);
+    }
+
+    #[test]
+    fn parallel_delayed_translation_trades_energy_for_latency() {
+        let run = |parallel: bool| {
+            let mut kernel = Kernel::new(4 << 30, AllocPolicy::EagerSegments { split: 1 });
+            let mut wl = apps::gups(16 << 20).instantiate(&mut kernel, 3).unwrap();
+            let mut config = SystemConfig::isca2016();
+            config.parallel_delayed = parallel;
+            let mut sim = SystemSim::new(
+                kernel,
+                config,
+                TranslationScheme::HybridManySegment { segment_cache: true },
+            );
+            sim.run(&mut wl, 20_000)
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert!(parallel.cycles <= serial.cycles, "overlap can only help latency");
+        assert!(
+            parallel.translation.sc_lookups >= serial.translation.sc_lookups,
+            "parallel mode translates speculatively on LLC hits too"
+        );
+    }
+
+    #[test]
+    fn enigma_collapses_synonyms_without_a_filter() {
+        let mut kernel = Kernel::new(8 << 30, AllocPolicy::DemandPaging);
+        let mut wl = apps::postgres().instantiate(&mut kernel, 31).unwrap();
+        let mut sim = SystemSim::new(
+            kernel,
+            SystemConfig::isca2016(),
+            TranslationScheme::EnigmaDelayedTlb(1024),
+        );
+        let r = sim.run(&mut wl, 20_000);
+        assert_eq!(r.translation.enigma_lookups, 20_000);
+        assert_eq!(r.translation.filter_lookups, 0, "no Bloom filter");
+        assert_eq!(r.translation.synonym_tlb_lookups, 0, "no synonym TLB");
+        assert!(r.translation.shared_accesses > 0);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn enigma_shared_lines_have_one_canonical_name() {
+        // Two processes write/read the same shared page via different
+        // VAs; the second access must find the first's line on chip.
+        let mut kernel = Kernel::new(4 << 30, AllocPolicy::DemandPaging);
+        let a = kernel.create_process().unwrap();
+        let b = kernel.create_process().unwrap();
+        let shm = kernel.shm_create(0x2000).unwrap();
+        kernel
+            .mmap(a, VirtAddr::new(0x7000_0000), 0x2000, hvc_types::Permissions::RW,
+                  hvc_os::MapIntent::Shared(shm))
+            .unwrap();
+        kernel
+            .mmap(b, VirtAddr::new(0x9000_0000), 0x2000, hvc_types::Permissions::RW,
+                  hvc_os::MapIntent::Shared(shm))
+            .unwrap();
+        let mut sim = SystemSim::new(
+            kernel,
+            SystemConfig::isca2016(),
+            TranslationScheme::EnigmaDelayedTlb(1024),
+        );
+        sim.step(
+            hvc_types::TraceItem::new(0, MemRef::write(a, VirtAddr::new(0x7000_0040))),
+            1,
+        );
+        let before = sim.report().cache.llc.misses;
+        sim.step(
+            hvc_types::TraceItem::new(0, MemRef::read(b, VirtAddr::new(0x9000_0040))),
+            1,
+        );
+        let after = sim.report().cache.llc.misses;
+        assert_eq!(before, after, "synonym view must hit the canonical line");
+    }
+
+    #[test]
+    fn ifetch_modeling_adds_front_end_traffic_without_changing_data_side() {
+        let run = |ifetch: bool, scheme| {
+            let mut kernel = Kernel::new(4 << 30, AllocPolicy::DemandPaging);
+            let mut wl = apps::gups(8 << 20).instantiate(&mut kernel, 3).unwrap();
+            let mut config = SystemConfig::isca2016();
+            config.model_ifetch = ifetch;
+            let mut sim = SystemSim::new(kernel, config, scheme);
+            sim.run(&mut wl, 3000)
+        };
+        let base_off = run(false, TranslationScheme::Baseline);
+        let base_on = run(true, TranslationScheme::Baseline);
+        // Baseline: one extra L1 TLB lookup per item (the fetch).
+        assert_eq!(base_on.translation.l1_tlb_lookups, 2 * base_off.translation.l1_tlb_lookups);
+        assert!(base_on.cache.l1i[0].accesses() > 0);
+
+        let hyb_on = run(true, TranslationScheme::HybridDelayedTlb(1024));
+        // Hybrid: the fetch probes the filter, not a TLB.
+        assert_eq!(hyb_on.translation.filter_lookups, 6000);
+        assert_eq!(hyb_on.translation.l1_tlb_lookups, 0);
+    }
+
+    #[test]
+    fn filter_has_no_false_negatives_in_system_context() {
+        let mut kernel = Kernel::new(8 << 30, AllocPolicy::DemandPaging);
+        let mut wl = apps::postgres().instantiate(&mut kernel, 13).unwrap();
+        // Every access to a page the kernel says is shared must be a
+        // candidate (otherwise a synonym would be cached virtually).
+        for item in wl.iter().take(5000).collect::<Vec<_>>() {
+            let asid = item.mref.asid;
+            let va = item.mref.vaddr;
+            let space = kernel.space(asid).unwrap();
+            let shared = space
+                .page_table()
+                .lookup(va.page_number())
+                .map(|p| p.shared)
+                .unwrap_or(false);
+            if shared {
+                assert!(space.filter.is_candidate(va), "false negative at {va}");
+            }
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The virtualized full-system simulator (Section V).
+
+use crate::config::SystemConfig;
+use crate::core_model::CoreModel;
+use crate::stats::{RunReport, TranslationCounters};
+use hvc_cache::Hierarchy;
+use hvc_mem::Dram;
+use hvc_tlb::Tlb;
+use hvc_types::{
+    AccessKind, Asid, BlockName, Cycles, GuestPhysAddr, MemRef, Permissions, PhysAddr, TraceItem,
+    VirtAddr, Vmid,
+};
+use hvc_virt::{Hypervisor, NestedSegments, NestedWalker};
+use hvc_workloads::WorkloadInstance;
+
+/// Translation architecture of a virtualized system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VirtScheme {
+    /// Physical caching with a two-level TLB holding gVA→MA entries and
+    /// a 2D walker accelerated by a nested TLB — the "state-of-the-art
+    /// translation cache" baseline.
+    NestedBaseline,
+    /// Hybrid virtual caching: guest+host synonym filters and a synonym
+    /// TLB before L1; a delayed TLB (gVA→MA) backed by the 2D walker
+    /// after LLC misses.
+    HybridDelayedNested(
+        /// Delayed TLB entries.
+        usize,
+    ),
+    /// Hybrid virtual caching with delayed 2D segment translation
+    /// (guest + host segments, gVA→MA segment cache).
+    HybridNestedSegments,
+}
+
+/// The virtualized system simulator: one VM's workload driven through
+/// guest + host translation.
+pub struct VirtSystemSim {
+    hv: Hypervisor,
+    vmid: Vmid,
+    scheme: VirtScheme,
+    config: SystemConfig,
+    hierarchy: Hierarchy,
+    dram: Dram,
+    core: CoreModel,
+    /// Baseline: two-level TLB caching gVA→MA (flattened into one
+    /// structure with baseline L2 capacity; lookups modelled two-level).
+    gva_tlb: Tlb,
+    syn_tlb: Tlb,
+    delayed_tlb: Tlb,
+    walker: NestedWalker,
+    nested_segments: Option<NestedSegments>,
+    counters: TranslationCounters,
+    refs: u64,
+    nested_walks: u64,
+}
+
+impl VirtSystemSim {
+    /// Builds the simulator over a hypervisor whose VM `vmid` already has
+    /// its workload instantiated in the guest kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`hvc_virt::NestedSegments::build`] errors for the
+    /// segment scheme.
+    pub fn new(
+        hv: Hypervisor,
+        vmid: Vmid,
+        config: SystemConfig,
+        scheme: VirtScheme,
+    ) -> hvc_types::Result<Self> {
+        let nested_segments = match scheme {
+            VirtScheme::HybridNestedSegments => Some(NestedSegments::build(&hv, vmid)?),
+            _ => None,
+        };
+        let delayed_entries = match scheme {
+            VirtScheme::HybridDelayedNested(n) => n,
+            _ => 1024,
+        };
+        Ok(VirtSystemSim {
+            hierarchy: Hierarchy::new(config.hierarchy.clone()),
+            dram: Dram::new(config.dram.clone()),
+            core: CoreModel::new(config.width, config.hidden_latency),
+            gva_tlb: Tlb::new(config.l2_tlb.clone()),
+            syn_tlb: Tlb::new(config.synonym_tlb.clone()),
+            delayed_tlb: Tlb::new(hvc_tlb::TlbConfig::delayed(delayed_entries)),
+            walker: NestedWalker::isca2016(),
+            nested_segments,
+            hv,
+            vmid,
+            scheme,
+            config,
+            counters: TranslationCounters::default(),
+            refs: 0,
+            nested_walks: 0,
+        })
+    }
+
+    /// Resets statistics (contents kept) so measurements exclude warm-up.
+    pub fn reset_stats(&mut self) {
+        self.counters = TranslationCounters::default();
+        self.refs = 0;
+        self.nested_walks = 0;
+        self.hierarchy.reset_stats();
+        self.dram.reset_stats();
+        self.gva_tlb.reset_stats();
+        self.syn_tlb.reset_stats();
+        self.delayed_tlb.reset_stats();
+        self.walker.reset_stats();
+        self.core.mark();
+    }
+
+    /// Runs `refs` warm-up references (not measured), then resets stats.
+    pub fn warm_up(&mut self, workload: &mut WorkloadInstance, refs: usize) {
+        let mlp = workload.mlp();
+        for _ in 0..refs {
+            let item = workload.next_item();
+            self.step(item, mlp);
+        }
+        self.reset_stats();
+    }
+
+    /// Runs `refs` references of the guest workload.
+    pub fn run(&mut self, workload: &mut WorkloadInstance, refs: usize) -> RunReport {
+        let mlp = workload.mlp();
+        for _ in 0..refs {
+            let item = workload.next_item();
+            self.step(item, mlp);
+        }
+        self.report()
+    }
+
+    /// Simulates one trace item.
+    pub fn step(&mut self, item: TraceItem, mlp: u32) {
+        self.core.retire(item.instructions());
+        self.refs += 1;
+        let latency = match self.scheme {
+            VirtScheme::NestedBaseline => self.step_baseline(item.mref),
+            VirtScheme::HybridDelayedNested(_) | VirtScheme::HybridNestedSegments => {
+                self.step_hybrid(item.mref)
+            }
+        };
+        self.core.memory(latency, mlp);
+    }
+
+    /// Builds the report.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            instructions: self.core.instructions(),
+            cycles: self.core.cycles(),
+            refs: self.refs,
+            translation: self.counters.clone(),
+            baseline_tlb_misses: self.gva_tlb.stats().misses,
+            cache: self.hierarchy.stats(),
+            dram: self.dram.stats().clone(),
+            minor_faults: self
+                .hv
+                .guest_kernel(self.vmid)
+                .map(|k| k.stats().minor_faults)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Number of full 2D walks performed.
+    pub fn nested_walks(&self) -> u64 {
+        self.nested_walks
+    }
+
+    // --- paths ---
+
+    fn step_baseline(&mut self, mref: MemRef) -> Cycles {
+        let MemRef { asid, vaddr, kind } = mref;
+        self.counters.l1_tlb_lookups += 1;
+        let mut front = Cycles::ZERO;
+        let pte = match self.gva_tlb.lookup(asid, vaddr.page_number()) {
+            Some(p) => p,
+            None => {
+                self.counters.l2_tlb_lookups += 1;
+                front += self.config.l2_tlb.latency;
+                let (npte, wlat) = self.nested_walk(asid, vaddr, kind);
+                front += wlat;
+                let pte = hvc_os::Pte {
+                    frame: npte.machine_frame,
+                    perm: npte.perm,
+                    shared: npte.guest_shared,
+                };
+                self.gva_tlb.insert(asid, vaddr.page_number(), pte);
+                pte
+            }
+        };
+        if pte.shared {
+            self.counters.shared_accesses += 1;
+        }
+        let ma = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+        front + self.phys_access(ma, kind)
+    }
+
+    fn step_hybrid(&mut self, mref: MemRef) -> Cycles {
+        let MemRef { asid, vaddr, kind } = mref;
+        self.counters.filter_lookups += 1;
+        // Guest filter (per-process, in the guest kernel) OR host filter
+        // (per-VM, in the hypervisor), both indexed by gVA.
+        let guest_hit = self
+            .hv
+            .guest_kernel(self.vmid)
+            .ok()
+            .and_then(|k| k.space(asid).map(|s| s.filter.is_candidate(vaddr)))
+            .unwrap_or(false);
+        let host_hit = self
+            .hv
+            .host_filter(self.vmid)
+            .map(|f| f.is_candidate(vaddr))
+            .unwrap_or(false);
+        if !(guest_hit || host_hit) {
+            return self.virt_access(asid, vaddr, kind);
+        }
+        self.counters.filter_candidates += 1;
+        self.counters.synonym_tlb_lookups += 1;
+        let mut front = self.config.synonym_tlb.latency;
+        let pte = match self.syn_tlb.lookup(asid, vaddr.page_number()) {
+            Some(p) => p,
+            None => {
+                self.counters.synonym_tlb_misses += 1;
+                let (npte, wlat) = self.nested_walk(asid, vaddr, kind);
+                front += wlat;
+                let pte = hvc_os::Pte {
+                    frame: npte.machine_frame,
+                    perm: npte.perm,
+                    // Host-induced sharing also forces physical naming.
+                    shared: npte.guest_shared || host_hit,
+                };
+                self.syn_tlb.insert(asid, vaddr.page_number(), pte);
+                pte
+            }
+        };
+        if pte.shared {
+            self.counters.shared_accesses += 1;
+            let ma = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+            front + self.phys_access(ma, kind)
+        } else {
+            self.counters.false_positives += 1;
+            front + self.virt_access(asid, vaddr, kind)
+        }
+    }
+
+    fn phys_access(&mut self, ma: PhysAddr, kind: AccessKind) -> Cycles {
+        let name = BlockName::Phys(ma.line());
+        let r = self.hierarchy.lookup(0, name, kind);
+        let mut lat = r.latency;
+        if r.llc_miss() {
+            let now = self.core.now() + lat;
+            lat += self.dram.access_latency(now, ma, kind.is_write());
+            let victim = self.hierarchy.fill_miss(0, kind, name, kind.is_write(), Permissions::RW);
+            if let Some(v) = victim {
+                self.write_back(v.name);
+            }
+        }
+        lat
+    }
+
+    fn virt_access(&mut self, asid: Asid, vaddr: VirtAddr, kind: AccessKind) -> Cycles {
+        let name = BlockName::Virt(asid, vaddr.line());
+        let r = self.hierarchy.lookup(0, name, kind);
+        let mut lat = r.latency;
+        if r.llc_miss() {
+            let (ma, tlat, perm) = self.delayed_translate(asid, vaddr, kind);
+            lat += tlat;
+            let now = self.core.now() + lat;
+            lat += self.dram.access_latency(now, ma, kind.is_write());
+            let victim = self.hierarchy.fill_miss(0, kind, name, kind.is_write(), perm);
+            if let Some(v) = victim {
+                self.write_back(v.name);
+            }
+        }
+        lat
+    }
+
+    fn delayed_translate(
+        &mut self,
+        asid: Asid,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+    ) -> (PhysAddr, Cycles, Permissions) {
+        self.delayed_translate_inner(asid, vaddr, kind, true)
+    }
+
+    /// `demand` distinguishes demand-path translations (TLB-miss
+    /// metrics) from writeback-path translations (energy only).
+    fn delayed_translate_inner(
+        &mut self,
+        asid: Asid,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+        demand: bool,
+    ) -> (PhysAddr, Cycles, Permissions) {
+        if self.nested_segments.is_some() {
+            let host_key = self.hv.host_segment_key(self.vmid).expect("VM exists");
+            let Self { nested_segments, dram, core, counters, .. } = self;
+            let ns = nested_segments.as_mut().expect("checked");
+            let now = core.now();
+            counters.sc_lookups += 1;
+            if let Some((ma, lat)) = ns.translate(asid, host_key, vaddr, |addr| {
+                counters.pte_reads += 1;
+                dram.access_latency(now, addr, false)
+            }) {
+                counters.segment_table_accesses += 1;
+                return (ma, lat, Permissions::RW);
+            }
+            // Fallback: 2D page walk for paging-managed guest pages.
+            let (npte, lat) = self.nested_walk(asid, vaddr, kind);
+            let ma = PhysAddr::new(npte.machine_frame.base().as_u64() + vaddr.page_offset());
+            return (ma, lat, npte.perm);
+        }
+
+        self.counters.delayed_tlb_lookups += 1;
+        let tlb_lat = self.delayed_tlb.config().latency;
+        match self.delayed_tlb.lookup(asid, vaddr.page_number()) {
+            Some(pte) => {
+                let ma = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+                (ma, tlb_lat, pte.perm)
+            }
+            None => {
+                if demand {
+                    self.counters.delayed_tlb_misses += 1;
+                }
+                let (npte, wlat) = self.nested_walk(asid, vaddr, kind);
+                let pte = hvc_os::Pte {
+                    frame: npte.machine_frame,
+                    perm: npte.perm,
+                    shared: npte.guest_shared,
+                };
+                self.delayed_tlb.insert(asid, vaddr.page_number(), pte);
+                let ma = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
+                (ma, tlb_lat + wlat, pte.perm)
+            }
+        }
+    }
+
+    /// Performs a full 2D walk, demand-servicing guest faults and EPT
+    /// violations first, charging all memory reads through the hierarchy.
+    fn nested_walk(
+        &mut self,
+        asid: Asid,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+    ) -> (hvc_virt::NestedPte, Cycles) {
+        self.nested_walks += 1;
+        self.ensure_backed(asid, vaddr, kind);
+        let Self { walker, hv, hierarchy, dram, core, counters, vmid, .. } = self;
+        let now = core.now();
+        walker
+            .walk(hv, *vmid, asid, vaddr.page_number(), |addr| {
+                counters.pte_reads += 1;
+                let name = BlockName::Phys(addr.line());
+                let r = hierarchy.lookup(0, name, AccessKind::Read);
+                let mut lat = r.latency;
+                if r.llc_miss() {
+                    lat += dram.access_latency(now + lat, addr, false);
+                    hierarchy.fill_miss(0, AccessKind::Read, name, false, Permissions::RW);
+                }
+                lat
+            })
+            .expect("backed by ensure_backed")
+    }
+
+    /// Makes sure the guest page is mapped and all its translation
+    /// structures have machine backing.
+    fn ensure_backed(&mut self, asid: Asid, vaddr: VirtAddr, kind: AccessKind) {
+        let vmid = self.vmid;
+        let gk = self.hv.guest_kernel_mut(vmid).expect("VM exists");
+        let gpte = gk
+            .touch(asid, vaddr, kind)
+            .unwrap_or_else(|e| panic!("guest access {vaddr} in {asid} failed: {e}"));
+        // Drain guest flush requests into the (machine-side) hierarchy.
+        let reqs = gk.drain_flush_requests();
+        for req in reqs {
+            if let hvc_os::FlushRequest::Page(a, vpn) = req {
+                self.hierarchy.flush_virt_page(a, vpn);
+                self.syn_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
+                self.gva_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
+                self.delayed_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
+            }
+        }
+        // Machine backing for the guest PT pages and the data page.
+        let (_, gpath) = self
+            .hv
+            .guest_kernel(vmid)
+            .expect("VM exists")
+            .walk(asid, vaddr.page_number())
+            .expect("just touched");
+        for entry in gpath {
+            self.hv
+                .machine_addr(vmid, GuestPhysAddr::new(entry.as_u64()))
+                .expect("machine memory available");
+        }
+        self.hv
+            .machine_addr(vmid, GuestPhysAddr::new(gpte.frame.base().as_u64()))
+            .expect("machine memory available");
+    }
+
+    fn write_back(&mut self, name: BlockName) {
+        let ma = match name {
+            BlockName::Phys(line) => PhysAddr::new(line.base_raw()),
+            BlockName::Virt(asid, line) => {
+                self.counters.writeback_translations += 1;
+                let vaddr = VirtAddr::new(line.base_raw());
+                let (ma, _, _) =
+                    self.delayed_translate_inner(asid, vaddr, AccessKind::Read, false);
+                ma
+            }
+        };
+        let now = self.core.now();
+        self.dram.access(now, ma, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvc_os::AllocPolicy;
+    use hvc_workloads::apps;
+
+    const GIB: u64 = 1 << 30;
+
+    fn setup(policy: AllocPolicy, eager_backing: bool) -> (Hypervisor, Vmid, WorkloadInstance) {
+        let mut hv = Hypervisor::new(4 * GIB);
+        let vm = hv.create_vm(GIB, policy, eager_backing).unwrap();
+        // Instantiate the workload inside the guest via a stand-in ASID
+        // from the hypervisor (the workload API creates its own process;
+        // route it through the guest kernel).
+        let gk = hv.guest_kernel_mut(vm).unwrap();
+        let wl = apps::gups(8 << 20).instantiate(gk, 5).unwrap();
+        (hv, vm, wl)
+    }
+
+    #[test]
+    fn nested_baseline_runs_and_walks() {
+        let (hv, vm, mut wl) = setup(AllocPolicy::DemandPaging, false);
+        let mut sim =
+            VirtSystemSim::new(hv, vm, SystemConfig::isca2016(), VirtScheme::NestedBaseline)
+                .unwrap();
+        let r = sim.run(&mut wl, 5000);
+        assert!(r.ipc() > 0.0);
+        assert!(sim.nested_walks() > 0);
+        assert!(r.translation.pte_reads > 0);
+        assert_eq!(r.translation.l1_tlb_lookups, 5000);
+    }
+
+    #[test]
+    fn hybrid_delayed_nested_bypasses_front_tlb() {
+        let (hv, vm, mut wl) = setup(AllocPolicy::DemandPaging, false);
+        let mut sim = VirtSystemSim::new(
+            hv,
+            vm,
+            SystemConfig::isca2016(),
+            VirtScheme::HybridDelayedNested(4096),
+        )
+        .unwrap();
+        let r = sim.run(&mut wl, 5000);
+        assert_eq!(r.translation.filter_lookups, 5000);
+        assert_eq!(r.translation.synonym_tlb_lookups, 0, "private guest pages");
+        assert!(r.translation.delayed_tlb_lookups > 0);
+    }
+
+    #[test]
+    fn hybrid_beats_nested_baseline_on_walk_heavy_guest() {
+        // TLB-thrashing but LLC-resident guest working set: the nested
+        // baseline pays 2D-walk latency for cache-resident lines; hybrid
+        // virtual caching removes translation from that path entirely.
+        let (hv, vm, mut wl) = setup(AllocPolicy::DemandPaging, false);
+        let mut base = VirtSystemSim::new(
+            hv,
+            vm,
+            SystemConfig::isca2016_8mb_llc(),
+            VirtScheme::NestedBaseline,
+        )
+        .unwrap();
+        let rb = base.run(&mut wl, 60_000);
+
+        let (hv2, vm2, mut wl2) = setup(AllocPolicy::DemandPaging, false);
+        let mut hyb = VirtSystemSim::new(
+            hv2,
+            vm2,
+            SystemConfig::isca2016_8mb_llc(),
+            VirtScheme::HybridDelayedNested(8192),
+        )
+        .unwrap();
+        let rh = hyb.run(&mut wl2, 60_000);
+        assert!(
+            rh.ipc() > rb.ipc(),
+            "hybrid virt {} vs nested baseline {}",
+            rh.ipc(),
+            rb.ipc()
+        );
+    }
+
+    #[test]
+    fn nested_segments_scheme_uses_segment_path() {
+        let (hv, vm, mut wl) = setup(AllocPolicy::EagerSegments { split: 1 }, true);
+        let mut sim = VirtSystemSim::new(
+            hv,
+            vm,
+            SystemConfig::isca2016(),
+            VirtScheme::HybridNestedSegments,
+        )
+        .unwrap();
+        let r = sim.run(&mut wl, 5000);
+        assert!(r.translation.sc_lookups > 0);
+        assert!(r.translation.segment_table_accesses > 0);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn host_induced_sharing_becomes_candidate() {
+        let mut hv = Hypervisor::new(4 * GIB);
+        let vm = hv.create_vm(GIB, AllocPolicy::DemandPaging, false).unwrap();
+        let gk = hv.guest_kernel_mut(vm).unwrap();
+        let wl = apps::gups(4 << 20).instantiate(gk, 5).unwrap();
+        let asid = wl.procs()[0].asid;
+        // The hypervisor shares the first guest page r/w with the host.
+        hv.share_rw_with_host(vm, VirtAddr::new(0x1000_0000)).unwrap();
+        let mut sim = VirtSystemSim::new(
+            hv,
+            vm,
+            SystemConfig::isca2016(),
+            VirtScheme::HybridDelayedNested(1024),
+        )
+        .unwrap();
+        // Drive an access directly at the shared page.
+        let item = hvc_types::TraceItem::new(
+            0,
+            MemRef::read(asid, VirtAddr::new(0x1000_0040)),
+        );
+        sim.step(item, 1);
+        let r = sim.report();
+        assert_eq!(r.translation.filter_candidates, 1);
+        assert_eq!(r.translation.shared_accesses, 1, "host-induced synonym → PA path");
+        // A private page is not a candidate.
+        let _ = wl;
+    }
+}

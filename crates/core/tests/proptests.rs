@@ -1,0 +1,99 @@
+//! Property tests for the system simulator: functional agreement across
+//! schemes for arbitrary workload shapes.
+
+use hvc_core::{SystemConfig, SystemSim, TranslationScheme};
+use hvc_os::{AllocPolicy, Kernel};
+use hvc_types::PAGE_SIZE;
+use hvc_workloads::{AccessPattern, RegionSpec, SharingSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1u64..64,
+        prop_oneof![
+            Just(AccessPattern::Uniform),
+            (0.5f64..0.9).prop_map(AccessPattern::Zipfian),
+            Just(AccessPattern::Stream),
+        ],
+        0.0f64..0.6,
+        prop::option::of(Just(SharingSpec {
+            processes: 2,
+            shared_bytes: 8 * PAGE_SIZE,
+            shared_access_frac: 0.2,
+        })),
+    )
+        .prop_map(|(pages, pattern, write_frac, sharing)| WorkloadSpec {
+            name: "prop".into(),
+            regions: vec![RegionSpec::full(pages * PAGE_SIZE)],
+            contiguous: true,
+            pattern,
+            write_frac,
+            mean_gap: 3,
+            mlp: 2,
+            burst: 4,
+            stack_frac: 0.2,
+            sharing,
+        })
+}
+
+fn run(spec: &WorkloadSpec, scheme: TranslationScheme, policy: AllocPolicy, seed: u64) -> hvc_core::RunReport {
+    let mut kernel = Kernel::new(1 << 30, policy);
+    let mut wl = spec.instantiate(&mut kernel, seed).unwrap();
+    let mut sim = SystemSim::new(kernel, SystemConfig::isca2016(), scheme);
+    sim.run(&mut wl, 3000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every demand-paged scheme sees identical functional footprints for
+    /// the same workload stream: same instructions, same faults, same
+    /// shared-access counts, and the ideal scheme is never slower.
+    #[test]
+    fn schemes_agree_functionally(spec in small_spec(), seed in 0u64..500) {
+        let d = AllocPolicy::DemandPaging;
+        let base = run(&spec, TranslationScheme::Baseline, d, seed);
+        let hyb = run(&spec, TranslationScheme::HybridDelayedTlb(1024), d, seed);
+        let enig = run(&spec, TranslationScheme::EnigmaDelayedTlb(1024), d, seed);
+        let ideal = run(&spec, TranslationScheme::Ideal, d, seed);
+
+        for r in [&hyb, &enig, &ideal] {
+            prop_assert_eq!(r.instructions, base.instructions);
+            prop_assert_eq!(r.minor_faults, base.minor_faults);
+            prop_assert_eq!(r.translation.shared_accesses, base.translation.shared_accesses);
+        }
+        prop_assert!(ideal.cycles <= base.cycles);
+        prop_assert!(ideal.cycles <= hyb.cycles);
+        prop_assert!(ideal.cycles <= enig.cycles);
+        // The hybrid filter never under-reports synonyms.
+        prop_assert!(hyb.translation.filter_candidates >= hyb.translation.shared_accesses);
+        // Enigma consults its first level on every reference.
+        prop_assert_eq!(enig.translation.enigma_lookups, enig.refs);
+    }
+
+    /// The many-segment scheme agrees with the delayed-TLB scheme on all
+    /// functional counters under eager allocation.
+    #[test]
+    fn many_segment_functional_agreement(spec in small_spec(), seed in 0u64..500) {
+        let e = AllocPolicy::EagerSegments { split: 1 };
+        let tlb = run(&spec, TranslationScheme::HybridDelayedTlb(1024), e, seed);
+        let seg = run(
+            &spec,
+            TranslationScheme::HybridManySegment { segment_cache: true },
+            e,
+            seed,
+        );
+        prop_assert_eq!(seg.instructions, tlb.instructions);
+        prop_assert_eq!(seg.translation.shared_accesses, tlb.translation.shared_accesses);
+        prop_assert_eq!(seg.minor_faults, 0);
+    }
+
+    /// Simulation determinism: identical configuration ⇒ identical report.
+    #[test]
+    fn identical_runs_are_identical(spec in small_spec(), seed in 0u64..500) {
+        let a = run(&spec, TranslationScheme::HybridDelayedTlb(2048), AllocPolicy::DemandPaging, seed);
+        let b = run(&spec, TranslationScheme::HybridDelayedTlb(2048), AllocPolicy::DemandPaging, seed);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.translation, b.translation);
+    }
+}

@@ -1,0 +1,40 @@
+//! Bloom-filter based synonym detection (the paper's Section III-B).
+//!
+//! Each address space owns a [`SynonymFilter`]: a pair of 1K-bit Bloom
+//! filters, one at 16 MB granularity and one at 32 KB granularity, each
+//! indexed by two XOR-folding hash functions. An address is reported as a
+//! *synonym candidate* only when all four addressed bits are set, which
+//! keeps false positives low; false negatives are impossible by
+//! construction, which is the property correctness rests on.
+//!
+//! The operating system owns filter contents: it inserts a page when its
+//! status changes to shared (synonym), never removes individual pages
+//! (bits may be shared), and rebuilds the filter from the page tables when
+//! too many stale bits accumulate ([`SynonymFilter::clear`] +
+//! re-insertion).
+//!
+//! For virtualized systems, [`GuestHostFilters`] pairs a guest-OS filter
+//! with a hypervisor (host) filter; both are indexed with the *guest
+//! virtual* address and a hit in either reports a candidate (Section V-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_filter::SynonymFilter;
+//! use hvc_types::VirtAddr;
+//!
+//! let mut f = SynonymFilter::new();
+//! f.insert_page(VirtAddr::new(0x7000_0000));
+//! assert!(f.is_candidate(VirtAddr::new(0x7000_0123)));
+//! // Never a false negative:
+//! assert!(f.is_candidate(VirtAddr::new(0x7000_0fff)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod synonym;
+
+pub use bloom::BloomFilter;
+pub use synonym::{GuestHostFilters, SynonymFilter, COARSE_SHIFT, FILTER_BITS, FINE_SHIFT};

@@ -1,0 +1,108 @@
+//! Per-bank row-buffer state.
+
+use hvc_types::Cycles;
+
+/// Outcome of presenting an access to a bank, used for statistics and
+/// latency selection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum RowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank had no open row (first touch after precharge).
+    Miss,
+    /// A different row was open and must be precharged first.
+    Conflict,
+}
+
+/// A single DRAM bank: one open row plus a busy-until timestamp that
+/// serializes accesses to the bank.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycles,
+}
+
+impl Bank {
+    /// Presents an access to `row` arriving at time `now`; returns the
+    /// outcome and the time the requested data is available, and updates
+    /// bank state. `service` latencies come from the config per outcome,
+    /// `occupancy` keeps the bank busy after the access completes.
+    pub(crate) fn access(
+        &mut self,
+        now: Cycles,
+        row: u64,
+        hit: Cycles,
+        miss: Cycles,
+        conflict: Cycles,
+        occupancy: Cycles,
+    ) -> (RowOutcome, Cycles) {
+        let outcome = match self.open_row {
+            Some(r) if r == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        };
+        let service = match outcome {
+            RowOutcome::Hit => hit,
+            RowOutcome::Miss => miss,
+            RowOutcome::Conflict => conflict,
+        };
+        // The access starts when both the request arrives and the bank is
+        // free (FR-FCFS handled implicitly by the caller picking the bank).
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.open_row = Some(row);
+        self.busy_until = start + occupancy.max(service);
+        (outcome, done)
+    }
+
+    /// Time at which the bank becomes idle (visible for tests).
+    #[cfg(test)]
+    pub(crate) fn busy_until(&self) -> Cycles {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    #[test]
+    fn first_access_is_a_miss() {
+        let mut b = Bank::default();
+        let (o, done) = b.access(cy(0), 7, cy(5), cy(15), cy(25), cy(2));
+        assert_eq!(o, RowOutcome::Miss);
+        assert_eq!(done, cy(15));
+    }
+
+    #[test]
+    fn same_row_hits_different_row_conflicts() {
+        let mut b = Bank::default();
+        b.access(cy(0), 7, cy(5), cy(15), cy(25), cy(2));
+        let (o, _) = b.access(cy(100), 7, cy(5), cy(15), cy(25), cy(2));
+        assert_eq!(o, RowOutcome::Hit);
+        let (o, _) = b.access(cy(200), 8, cy(5), cy(15), cy(25), cy(2));
+        assert_eq!(o, RowOutcome::Conflict);
+    }
+
+    #[test]
+    fn back_to_back_accesses_queue_on_the_bank() {
+        let mut b = Bank::default();
+        let (_, d1) = b.access(cy(0), 1, cy(5), cy(15), cy(25), cy(2));
+        assert_eq!(d1, cy(15));
+        // Second access arrives immediately but must wait for the bank.
+        let (o, d2) = b.access(cy(0), 1, cy(5), cy(15), cy(25), cy(2));
+        assert_eq!(o, RowOutcome::Hit);
+        assert_eq!(d2, cy(15 + 5));
+    }
+
+    #[test]
+    fn occupancy_extends_busy_time() {
+        let mut b = Bank::default();
+        b.access(cy(0), 1, cy(5), cy(15), cy(25), cy(40));
+        assert_eq!(b.busy_until(), cy(40));
+    }
+}

@@ -1,0 +1,117 @@
+//! DRAM geometry and timing configuration.
+
+use hvc_types::Cycles;
+
+/// Geometry and timing of the DRAM subsystem.
+///
+/// All timing values are expressed in **CPU core cycles** at the nominal
+/// 3.4 GHz frequency of the paper's Table IV configuration, so a DDR3-1600
+/// memory cycle (800 MHz clock) corresponds to 4.25 core cycles; the
+/// presets below pre-multiply standard JEDEC cycle counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independent channels (memory controllers).
+    pub channels: usize,
+    /// Banks per channel (ranks × banks folded together).
+    pub banks_per_channel: usize,
+    /// Bytes per DRAM row (row-buffer size).
+    pub row_bytes: u64,
+    /// Activate-to-column delay (tRCD).
+    pub t_rcd: Cycles,
+    /// Column access (CAS) latency (tCL) plus data burst.
+    pub t_cas: Cycles,
+    /// Precharge latency (tRP).
+    pub t_rp: Cycles,
+    /// Fixed controller + interconnect overhead added to every access.
+    pub t_overhead: Cycles,
+    /// Minimum gap between two column commands on the same bank (bank
+    /// occupancy per access; models command/data bus contention crudely).
+    pub t_occupancy: Cycles,
+}
+
+impl DramConfig {
+    /// DDR3-1600-like timing at a 3.4 GHz core clock (the paper's
+    /// Table IV: "4GB DDR3-1600, 800MHz, 1 memory controller").
+    ///
+    /// JEDEC DDR3-1600 11-11-11: tRCD = tRP = tCL ≈ 13.75 ns ≈ 47 core
+    /// cycles; burst of 8 at 1.25 ns ≈ 17 core cycles folded into `t_cas`;
+    /// ~26 cycles of controller overhead gives the conventional ~160-cycle
+    /// row-miss latency.
+    pub fn ddr3_1600() -> Self {
+        DramConfig {
+            channels: 1,
+            banks_per_channel: 8,
+            row_bytes: 8 * 1024,
+            t_rcd: Cycles::new(47),
+            t_cas: Cycles::new(47 + 17),
+            t_rp: Cycles::new(47),
+            t_overhead: Cycles::new(26),
+            t_occupancy: Cycles::new(17),
+        }
+    }
+
+    /// A fast, fixed-latency-ish configuration for unit tests (small
+    /// numbers that are easy to reason about).
+    pub fn test_tiny() -> Self {
+        DramConfig {
+            channels: 1,
+            banks_per_channel: 2,
+            row_bytes: 128,
+            t_rcd: Cycles::new(10),
+            t_cas: Cycles::new(5),
+            t_rp: Cycles::new(10),
+            t_overhead: Cycles::new(1),
+            t_occupancy: Cycles::new(2),
+        }
+    }
+
+    /// Latency of a row-buffer hit.
+    #[inline]
+    pub fn hit_latency(&self) -> Cycles {
+        self.t_overhead + self.t_cas
+    }
+
+    /// Latency of an access to a closed bank (activate + column).
+    #[inline]
+    pub fn miss_latency(&self) -> Cycles {
+        self.t_overhead + self.t_rcd + self.t_cas
+    }
+
+    /// Latency of a row-buffer conflict (precharge + activate + column).
+    #[inline]
+    pub fn conflict_latency(&self) -> Cycles {
+        self.t_overhead + self.t_rp + self.t_rcd + self.t_cas
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ordering_holds() {
+        let c = DramConfig::ddr3_1600();
+        assert!(c.hit_latency() < c.miss_latency());
+        assert!(c.miss_latency() < c.conflict_latency());
+    }
+
+    #[test]
+    fn default_is_ddr3() {
+        assert_eq!(DramConfig::default(), DramConfig::ddr3_1600());
+    }
+
+    #[test]
+    fn ddr3_row_miss_is_realistic() {
+        // A closed-row access should land in the conventional
+        // 100-200 core-cycle range at 3.4 GHz.
+        let c = DramConfig::ddr3_1600();
+        let miss = c.miss_latency().get();
+        assert!((100..=200).contains(&miss), "miss latency {miss}");
+    }
+}

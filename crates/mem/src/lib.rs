@@ -1,0 +1,35 @@
+//! DDR3-style DRAM timing model.
+//!
+//! The paper evaluates with DRAMSim2 attached to MARSSx86 (4 GB DDR3-1600,
+//! 800 MHz, one memory controller). This crate provides the closest
+//! self-contained equivalent: a bank/row-buffer timing model with
+//! FR-FCFS-flavoured bank queuing. It is deliberately *not* a full
+//! command-level DRAM simulator — the figures reproduced from the paper
+//! depend on the average and locality-dependence of main-memory latency,
+//! which the row-buffer model captures.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_mem::{Dram, DramConfig};
+//! use hvc_types::{Cycles, PhysAddr};
+//!
+//! let mut dram = Dram::new(DramConfig::ddr3_1600());
+//! let first = dram.access(Cycles::ZERO, PhysAddr::new(0x1000), false);
+//! // A second access to the same bank and row is a row-buffer hit and is
+//! // faster (lines interleave across 8 banks, so step by 8 lines).
+//! let second = dram.access(first, PhysAddr::new(0x1200), false);
+//! assert!(second - first < first);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod config;
+mod dram;
+mod stats;
+
+pub use config::DramConfig;
+pub use dram::Dram;
+pub use stats::DramStats;

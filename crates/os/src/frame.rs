@@ -1,0 +1,356 @@
+//! Buddy allocator for physical frames.
+//!
+//! Eager segment allocation needs large, *contiguous* physical regions;
+//! demand paging needs single frames. A binary buddy system provides both
+//! and — importantly for the paper's Table III and Figure 7 — produces
+//! realistic external fragmentation as allocation patterns interleave.
+
+use hvc_types::{HvcError, PhysFrame, Result, PAGE_SHIFT, PAGE_SIZE};
+use std::collections::BTreeSet;
+
+/// Maximum buddy order (2^18 frames = 1 GiB blocks).
+const MAX_ORDER: u32 = 18;
+
+/// Frames in the largest allocatable block (1 GiB).
+pub const MAX_BLOCK_FRAMES: u64 = 1 << MAX_ORDER;
+
+/// A binary-buddy physical frame allocator.
+///
+/// Frames are identified by [`PhysFrame`] number starting at zero. Blocks
+/// of `2^order` frames are split and merged on demand; freed blocks
+/// eagerly coalesce with their buddies.
+#[derive(Clone, Debug)]
+pub struct BuddyAllocator {
+    /// Free blocks per order, keyed by first frame number.
+    free: Vec<BTreeSet<u64>>,
+    total_frames: u64,
+    free_frames: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing `bytes` of physical memory starting
+    /// at frame 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or not page aligned.
+    pub fn new(bytes: u64) -> Self {
+        Self::with_base(PhysFrame::new(0), bytes)
+    }
+
+    /// Creates an allocator managing `bytes` of physical memory starting
+    /// at `base` — used to carve disjoint regions (e.g. a kernel metadata
+    /// pool separate from user memory) out of one physical address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or not page aligned.
+    ///
+    /// Any `base` is safe: the region decomposes into naturally-aligned
+    /// buddy blocks, and blocks outside the region are never free here,
+    /// so coalescing cannot escape the region.
+    pub fn with_base(base: PhysFrame, bytes: u64) -> Self {
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(PAGE_SIZE),
+            "physical memory must be a positive multiple of the page size"
+        );
+        let total_frames = bytes >> PAGE_SHIFT;
+        let free: Vec<BTreeSet<u64>> = (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect();
+        let mut alloc = BuddyAllocator { free, total_frames, free_frames: 0 };
+        alloc.free_exact(base, total_frames);
+        alloc
+    }
+
+    /// Total managed frames.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Currently free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvcError::OutOfMemory`] when no frame is free.
+    pub fn alloc_frame(&mut self) -> Result<PhysFrame> {
+        self.alloc_order(0).map(PhysFrame::new)
+    }
+
+    /// Allocates `2^order` contiguous frames, naturally aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvcError::OutOfMemory`] when no sufficiently large block
+    /// exists (external fragmentation can cause this even when enough
+    /// total frames are free).
+    pub fn alloc_block(&mut self, order: u32) -> Result<PhysFrame> {
+        self.alloc_order(order).map(PhysFrame::new)
+    }
+
+    /// Allocates exactly `n` contiguous frames by taking the enclosing
+    /// power-of-two block and returning the unused tail to the free lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvcError::OutOfMemory`] if no enclosing block is free, or
+    /// [`HvcError::BadConfig`] if `n` is zero or exceeds the maximum block.
+    pub fn alloc_exact(&mut self, n: u64) -> Result<PhysFrame> {
+        if n == 0 {
+            return Err(HvcError::BadConfig("cannot allocate zero frames"));
+        }
+        let order = 64 - (n - 1).leading_zeros();
+        if order > MAX_ORDER {
+            return Err(HvcError::BadConfig("allocation exceeds maximum block size"));
+        }
+        let base = self.alloc_order(order)?;
+        // Return the tail [base+n, base+2^order) in maximal buddy chunks.
+        let mut cursor = base + n;
+        let end = base + (1u64 << order);
+        while cursor < end {
+            // Largest naturally-aligned block starting at `cursor` that
+            // fits before `end`.
+            let align_order = cursor.trailing_zeros().min(MAX_ORDER);
+            let mut o = align_order;
+            while (1u64 << o) > end - cursor {
+                o -= 1;
+            }
+            self.free[o as usize].insert(cursor);
+            self.free_frames += 1u64 << o;
+            cursor += 1u64 << o;
+        }
+        debug_assert!(self.free_frames <= self.total_frames);
+        Ok(PhysFrame::new(base))
+    }
+
+    /// Frees `n` contiguous frames starting at `base` (previously obtained
+    /// from [`BuddyAllocator::alloc_exact`] or the block/frame variants).
+    ///
+    /// Freeing decomposes the range into naturally-aligned buddy blocks
+    /// and coalesces each with its free buddy.
+    pub fn free_exact(&mut self, base: PhysFrame, n: u64) {
+        let mut cursor = base.as_u64();
+        let end = cursor + n;
+        while cursor < end {
+            let align_order = if cursor == 0 { MAX_ORDER } else { cursor.trailing_zeros().min(MAX_ORDER) };
+            let mut o = align_order;
+            while (1u64 << o) > end - cursor {
+                o -= 1;
+            }
+            self.free_block_at(cursor, o);
+            cursor += 1u64 << o;
+        }
+    }
+
+    /// Size in frames of the largest free contiguous block.
+    pub fn largest_free_block(&self) -> u64 {
+        for o in (0..=MAX_ORDER).rev() {
+            if !self.free[o as usize].is_empty() {
+                return 1u64 << o;
+            }
+        }
+        0
+    }
+
+    /// Returns `true` if the `n` frames starting at `base` are all free as
+    /// a single allocatable run — used by the segment allocator to try to
+    /// *extend* an existing segment in place. Partial coverage by larger
+    /// free blocks counts (they are split on claim).
+    pub fn is_run_free(&self, base: PhysFrame, n: u64) -> bool {
+        let mut cursor = base.as_u64();
+        let end = cursor + n;
+        while cursor < end {
+            match self.covering_free_block(cursor) {
+                Some((o, b)) => cursor = b + (1u64 << o),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Claims the `n` frames starting at `base`, which must satisfy
+    /// [`BuddyAllocator::is_run_free`]. Covering blocks are split, with
+    /// the portions outside the run returned to the free lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvcError::OutOfMemory`] if the run is not entirely free.
+    pub fn claim_run(&mut self, base: PhysFrame, n: u64) -> Result<()> {
+        if !self.is_run_free(base, n) {
+            return Err(HvcError::OutOfMemory);
+        }
+        let mut cursor = base.as_u64();
+        let end = cursor + n;
+        while cursor < end {
+            let (o, b) = self.covering_free_block(cursor).expect("checked by is_run_free");
+            self.free[o as usize].remove(&b);
+            self.free_frames -= 1u64 << o;
+            let block_end = b + (1u64 << o);
+            // Return the head and tail of the block outside the run.
+            if b < cursor {
+                self.free_exact(PhysFrame::new(b), cursor - b);
+            }
+            if block_end > end {
+                self.free_exact(PhysFrame::new(end), block_end - end);
+                cursor = end;
+            } else {
+                cursor = block_end;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds the free block (if any) containing `frame`.
+    fn covering_free_block(&self, frame: u64) -> Option<(u32, u64)> {
+        for o in 0..=MAX_ORDER {
+            let b = frame & !((1u64 << o) - 1);
+            if self.free[o as usize].contains(&b) {
+                return Some((o, b));
+            }
+        }
+        None
+    }
+
+    // --- internals ---
+
+    fn alloc_order(&mut self, order: u32) -> Result<u64> {
+        // Find the smallest order with a free block.
+        let mut o = order;
+        while o <= MAX_ORDER && self.free[o as usize].is_empty() {
+            o += 1;
+        }
+        if o > MAX_ORDER {
+            return Err(HvcError::OutOfMemory);
+        }
+        let base = *self.free[o as usize].iter().next().expect("non-empty");
+        self.free[o as usize].remove(&base);
+        // Split down to the requested order.
+        while o > order {
+            o -= 1;
+            self.free[o as usize].insert(base + (1u64 << o));
+        }
+        self.free_frames -= 1u64 << order;
+        Ok(base)
+    }
+
+    fn free_block_at(&mut self, mut base: u64, mut order: u32) {
+        self.free_frames += 1u64 << order;
+        // Coalesce with buddies while possible.
+        while order < MAX_ORDER {
+            let buddy = base ^ (1u64 << order);
+            if self.free[order as usize].remove(&buddy) {
+                base = base.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order as usize].insert(base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gib(n: u64) -> u64 {
+        n << 30
+    }
+
+    #[test]
+    fn allocates_distinct_frames() {
+        let mut b = BuddyAllocator::new(gib(1));
+        let f1 = b.alloc_frame().unwrap();
+        let f2 = b.alloc_frame().unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(b.free_frames(), b.total_frames() - 2);
+    }
+
+    #[test]
+    fn exact_allocation_returns_tail() {
+        let mut b = BuddyAllocator::new(gib(1));
+        let before = b.free_frames();
+        let base = b.alloc_exact(5).unwrap();
+        assert_eq!(b.free_frames(), before - 5);
+        b.free_exact(base, 5);
+        assert_eq!(b.free_frames(), before);
+        assert_eq!(b.largest_free_block(), 1u64 << MAX_ORDER);
+    }
+
+    #[test]
+    fn free_coalesces_back_to_max_block() {
+        let mut b = BuddyAllocator::new(gib(1));
+        let f = b.alloc_block(3).unwrap();
+        assert!(b.largest_free_block() < b.total_frames() || b.total_frames() == 1 << MAX_ORDER);
+        b.free_exact(f, 8);
+        assert_eq!(b.free_frames(), b.total_frames());
+        assert_eq!(b.largest_free_block(), 1u64 << MAX_ORDER);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut b = BuddyAllocator::new(gib(1));
+        // 1 GiB = exactly one max-order block.
+        let _ = b.alloc_block(MAX_ORDER).unwrap();
+        assert_eq!(b.alloc_frame(), Err(HvcError::OutOfMemory));
+    }
+
+    #[test]
+    fn fragmentation_limits_contiguity() {
+        let mut b = BuddyAllocator::new(gib(1));
+        // Allocate every frame, then free alternating frames: lots of free
+        // memory, no contiguity.
+        let n = b.total_frames();
+        let base = b.alloc_block(MAX_ORDER).unwrap();
+        for i in (0..n).step_by(2) {
+            b.free_exact(base.offset(i), 1);
+        }
+        assert_eq!(b.free_frames(), n / 2);
+        assert_eq!(b.largest_free_block(), 1);
+        assert!(b.alloc_exact(2).is_err());
+    }
+
+    #[test]
+    fn run_claiming_extends_in_place() {
+        let mut b = BuddyAllocator::new(gib(1));
+        let base = b.alloc_exact(10).unwrap();
+        let next = base.offset(10);
+        assert!(b.is_run_free(next, 6));
+        b.claim_run(next, 6).unwrap();
+        assert!(!b.is_run_free(next, 6));
+        // Cannot claim twice.
+        assert_eq!(b.claim_run(next, 6), Err(HvcError::OutOfMemory));
+    }
+
+    #[test]
+    fn zero_and_oversize_exact_rejected() {
+        let mut b = BuddyAllocator::new(gib(1));
+        assert!(matches!(b.alloc_exact(0), Err(HvcError::BadConfig(_))));
+        assert!(matches!(b.alloc_exact(1 << 19), Err(HvcError::BadConfig(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple")]
+    fn unaligned_capacity_rejected() {
+        let _ = BuddyAllocator::new(123);
+    }
+
+    #[test]
+    fn alloc_exact_free_frames_accounting_is_exact() {
+        let mut b = BuddyAllocator::new(gib(1));
+        let total = b.free_frames();
+        let mut allocated = Vec::new();
+        for n in [1u64, 3, 7, 100, 513] {
+            allocated.push((b.alloc_exact(n).unwrap(), n));
+        }
+        let used: u64 = allocated.iter().map(|&(_, n)| n).sum();
+        assert_eq!(b.free_frames(), total - used);
+        for (f, n) in allocated {
+            b.free_exact(f, n);
+        }
+        assert_eq!(b.free_frames(), total);
+    }
+}

@@ -1,0 +1,1209 @@
+//! The kernel facade: processes, memory mapping, sharing, faults.
+
+use crate::addrspace::{AddressSpace, Vma, VmaBacking};
+use crate::frame::BuddyAllocator;
+use crate::pagetable::{PageTable, Pte, WalkPath};
+use crate::segment::{SegmentId, SegmentTable, DEFAULT_SEGMENT_CAPACITY};
+use crate::shm::{ShmId, ShmObject};
+use hvc_types::{
+    AccessKind, Asid, HvcError, Permissions, Result, VirtAddr, VirtPage, PAGE_SHIFT, PAGE_SIZE,
+};
+use std::collections::HashMap;
+
+/// Physical memory allocation policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Conventional demand paging: frames allocated at first touch.
+    DemandPaging,
+    /// Eager allocation of contiguous segments at `mmap` time (the
+    /// RMM-style policy required for segment translation). `split`
+    /// artificially breaks each allocation into that many separately
+    /// placed segments — the external-fragmentation knob of the paper's
+    /// Figure 7 study (`split = 1` means best-effort contiguity).
+    EagerSegments {
+        /// Number of pieces each allocation is broken into (≥ 1).
+        split: u32,
+    },
+    /// Reservation-based eager allocation (Section IV-B's refinement):
+    /// `mmap` *reserves* a contiguous physical region but commits it in
+    /// `sub_pages`-page sub-segments only on first touch; adjacent
+    /// committed sub-segments merge into one segment. Recovers the
+    /// memory stranded by pure eager allocation at the cost of more
+    /// segments and touch-time commit work.
+    ReservedSegments {
+        /// Pages per sub-segment commit unit.
+        sub_pages: u64,
+    },
+}
+
+/// What an `mmap` call is backed by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapIntent {
+    /// Anonymous private memory (non-synonym).
+    Private,
+    /// A r/w mapping of a shared-memory object — creates synonym pages.
+    Shared(ShmId),
+    /// A read-only mapping of a shared object: content sharing, served
+    /// virtually with r/o tag permissions rather than as a synonym.
+    SharedRo(ShmId),
+    /// A DMA buffer: pinned and physically addressed (synonym).
+    Dma,
+}
+
+/// A flush the hardware must perform on cached (virtually-tagged) lines —
+/// produced by unmap / remap / sharing transitions and drained by the
+/// system simulator, which also charges the TLB shootdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushRequest {
+    /// Flush one virtual page of one address space.
+    Page(Asid, u64),
+    /// Flush everything belonging to an address space (process exit).
+    Space(Asid),
+    /// Downgrade a page's cached permission bits to read-only.
+    DowngradeRo(Asid, u64),
+}
+
+/// Kernel event counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Demand-paging minor faults served.
+    pub minor_faults: u64,
+    /// TLB shootdowns issued (mapping/status changes, filter updates).
+    pub shootdowns: u64,
+    /// Copy-on-write breaks of content-shared pages.
+    pub cow_breaks: u64,
+    /// Pages whose cachelines were requested flushed.
+    pub flushed_pages: u64,
+    /// Synonym-filter page insertions.
+    pub filter_insertions: u64,
+    /// Synonym-filter rebuilds (clear + re-insert).
+    pub filter_rebuilds: u64,
+}
+
+/// The simulated operating system.
+///
+/// Owns physical memory, all address spaces (with their page tables and
+/// synonym filters), shared-memory objects and the system-wide segment
+/// table. The hardware side (TLBs, segment hardware, caches) lives in the
+/// sibling crates and pulls state from here.
+#[derive(Debug)]
+pub struct Kernel {
+    frames: BuddyAllocator,
+    /// Separate pool for page-table nodes and kernel metadata, so that
+    /// metadata allocations never fragment the user pool (and eager
+    /// segments can grow in place).
+    meta_frames: BuddyAllocator,
+    spaces: HashMap<u16, AddressSpace>,
+    next_asid: u16,
+    shm: Vec<ShmObject>,
+    segments: SegmentTable,
+    policy: AllocPolicy,
+    stats: KernelStats,
+    flush_queue: Vec<FlushRequest>,
+    /// Last eagerly-allocated segment per space, for in-place extension.
+    last_segment: HashMap<u16, SegmentId>,
+    /// Outstanding physical reservations (ReservedSegments policy).
+    reservations: Vec<Reservation>,
+    /// Synonym-filter staleness per space: shared pages unmapped since
+    /// the last rebuild. Crossing [`Kernel::FILTER_STALE_LIMIT`] triggers
+    /// an automatic filter reconstruction (Section III-B).
+    stale_filter_pages: HashMap<u16, u64>,
+}
+
+/// A reserved-but-partially-committed physical region.
+#[derive(Clone, Debug)]
+struct Reservation {
+    asid: u16,
+    start_vpn: u64,
+    pages: u64,
+    base_frame: hvc_types::PhysFrame,
+    sub_pages: u64,
+    /// Segment id of each committed sub-unit (shared after merging).
+    committed: Vec<Option<SegmentId>>,
+}
+
+impl Kernel {
+    /// Bytes reserved at the bottom of physical memory for page tables
+    /// and other kernel metadata.
+    const META_BYTES: u64 = 64 << 20;
+
+    /// Shared pages whose filter bits may be stale before the OS rebuilds
+    /// the space's synonym filter automatically.
+    const FILTER_STALE_LIMIT: u64 = 64;
+
+    /// Boots a kernel managing `phys_bytes` of memory under `policy`.
+    /// The bottom 64 MiB are reserved for kernel metadata (page tables);
+    /// the rest is the user pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_bytes` is not page aligned or not larger than the
+    /// metadata reservation.
+    pub fn new(phys_bytes: u64, policy: AllocPolicy) -> Self {
+        assert!(phys_bytes > Self::META_BYTES, "need more than the metadata reservation");
+        let user_base = hvc_types::PhysFrame::new(Self::META_BYTES >> PAGE_SHIFT);
+        Kernel {
+            frames: BuddyAllocator::with_base(user_base, phys_bytes - Self::META_BYTES),
+            meta_frames: BuddyAllocator::new(Self::META_BYTES),
+            spaces: HashMap::new(),
+            next_asid: 1,
+            shm: Vec::new(),
+            segments: SegmentTable::new(DEFAULT_SEGMENT_CAPACITY),
+            policy,
+            stats: KernelStats::default(),
+            flush_queue: Vec::new(),
+            last_segment: HashMap::new(),
+            reservations: Vec::new(),
+            stale_filter_pages: HashMap::new(),
+        }
+    }
+
+    /// Boots with a custom segment-table capacity (index-tree studies).
+    pub fn with_segment_capacity(phys_bytes: u64, policy: AllocPolicy, capacity: usize) -> Self {
+        let mut k = Kernel::new(phys_bytes, policy);
+        k.segments = SegmentTable::new(capacity);
+        k
+    }
+
+    /// Creates a new process and returns its ASID. The synonym filter
+    /// pair starts cleared, as the paper specifies for address-space
+    /// creation.
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] when ASIDs are exhausted,
+    /// [`HvcError::OutOfMemory`] when the page-table root cannot be
+    /// allocated.
+    pub fn create_process(&mut self) -> Result<Asid> {
+        let raw = self.next_asid;
+        if raw == u16::MAX {
+            return Err(HvcError::BadId("ASID space exhausted"));
+        }
+        self.next_asid += 1;
+        let asid = Asid::new(raw);
+        let pt = PageTable::new(&mut self.meta_frames)?;
+        self.spaces.insert(raw, AddressSpace::new(asid, pt));
+        Ok(asid)
+    }
+
+    /// Registers a process with a caller-chosen ASID (used by the
+    /// virtualization layer, which composes VMID + guest ASID).
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] if the ASID is taken.
+    pub fn create_process_with_asid(&mut self, asid: Asid) -> Result<()> {
+        if self.spaces.contains_key(&asid.as_u16()) {
+            return Err(HvcError::BadId("ASID already in use"));
+        }
+        let pt = PageTable::new(&mut self.meta_frames)?;
+        self.spaces.insert(asid.as_u16(), AddressSpace::new(asid, pt));
+        Ok(())
+    }
+
+    /// Tears down a process: frees private frames, detaches shared
+    /// objects, removes its segments, and requests a full flush of its
+    /// virtually-tagged cachelines.
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] for an unknown ASID.
+    pub fn destroy_process(&mut self, asid: Asid) -> Result<()> {
+        let space = self
+            .spaces
+            .remove(&asid.as_u16())
+            .ok_or(HvcError::BadId("unknown ASID"))?;
+        // Free private frames; shared frames belong to their shm objects.
+        for (vpage, pte) in space.page_table.iter() {
+            let backing = space
+                .vmas
+                .values()
+                .find(|v| v.contains(vpage.base()))
+                .map(|v| v.backing);
+            match backing {
+                Some(VmaBacking::Shared(_)) | Some(VmaBacking::SharedRo(_)) => {}
+                _ => self.frames.free_exact(pte.frame, 1),
+            }
+        }
+        for vma in space.vmas.values() {
+            if let VmaBacking::Shared(id) | VmaBacking::SharedRo(id) = vma.backing {
+                if let Some(obj) = self.shm.get_mut(id.0 as usize) {
+                    obj.attachments = obj.attachments.saturating_sub(1);
+                }
+            }
+            for &sid in &vma.segments {
+                self.segments.remove(sid);
+            }
+        }
+        self.last_segment.remove(&asid.as_u16());
+        self.release_reservations(asid, 0, u64::MAX);
+        self.flush_queue.push(FlushRequest::Space(asid));
+        self.stats.shootdowns += 1;
+        Ok(())
+    }
+
+    /// Releases every reservation of `asid` that lies inside
+    /// `[start_vpn, start_vpn + pages)`: frees uncommitted sub-units
+    /// (committed pages are freed through their page-table entries) and
+    /// drops the committed sub-segments from the segment table.
+    fn release_reservations(&mut self, asid: Asid, start_vpn: u64, pages: u64) {
+        let end = start_vpn.saturating_add(pages);
+        let mut kept = Vec::with_capacity(self.reservations.len());
+        for r in std::mem::take(&mut self.reservations) {
+            if r.asid != asid.as_u16() || r.start_vpn < start_vpn || r.start_vpn + r.pages > end {
+                kept.push(r);
+                continue;
+            }
+            let mut removed = std::collections::HashSet::new();
+            for (i, slot) in r.committed.iter().enumerate() {
+                let sub_start = i as u64 * r.sub_pages;
+                let sub_len = r.sub_pages.min(r.pages - sub_start);
+                match slot {
+                    Some(id) => {
+                        if removed.insert(*id) {
+                            self.segments.remove(*id);
+                        }
+                    }
+                    None => {
+                        // Never committed: free the reserved frames.
+                        self.frames.free_exact(r.base_frame.offset(sub_start), sub_len);
+                    }
+                }
+            }
+        }
+        self.reservations = kept;
+    }
+
+    /// Creates a shared-memory object of `len` bytes (page aligned up).
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::OutOfMemory`] when frames run out.
+    pub fn shm_create(&mut self, len: u64) -> Result<ShmId> {
+        let pages = len.div_ceil(PAGE_SIZE);
+        let mut frames = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            frames.push(self.frames.alloc_frame()?);
+        }
+        let id = ShmId(self.shm.len() as u32);
+        self.shm.push(ShmObject { frames, attachments: 0 });
+        Ok(id)
+    }
+
+    /// Maps `len` bytes at `va` in `asid` with the given permissions and
+    /// backing.
+    ///
+    /// Under [`AllocPolicy::EagerSegments`], private mappings allocate
+    /// contiguous physical segments immediately and register them in the
+    /// system-wide segment table; shared/DMA mappings always populate
+    /// their page-table entries eagerly (their translation goes through
+    /// the synonym TLB path).
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] for unknown ASIDs or shm objects,
+    /// [`HvcError::RegionOverlap`] if the range collides,
+    /// [`HvcError::BadConfig`] for unaligned arguments,
+    /// [`HvcError::OutOfMemory`] / [`HvcError::SegmentTableFull`] from
+    /// allocation.
+    pub fn mmap(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        len: u64,
+        perm: Permissions,
+        intent: MapIntent,
+    ) -> Result<()> {
+        if !va.is_aligned(PAGE_SIZE) || len == 0 || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(HvcError::BadConfig("mmap range must be page aligned"));
+        }
+        let space = self
+            .spaces
+            .get(&asid.as_u16())
+            .ok_or(HvcError::BadId("unknown ASID"))?;
+        if space.overlaps(va, len) {
+            return Err(HvcError::RegionOverlap { asid, vaddr: va, len });
+        }
+
+        let backing = match intent {
+            MapIntent::Private => VmaBacking::Private,
+            MapIntent::Shared(id) => VmaBacking::Shared(id),
+            MapIntent::SharedRo(id) => VmaBacking::SharedRo(id),
+            MapIntent::Dma => VmaBacking::Dma,
+        };
+        let mut vma = Vma { start: va, len, perm, backing, segments: Vec::new() };
+
+        match intent {
+            MapIntent::Shared(id) | MapIntent::SharedRo(id) => {
+                self.map_shared_object(asid, &vma, id, perm, intent)?;
+            }
+            MapIntent::Dma => {
+                self.map_dma(asid, &vma, perm)?;
+            }
+            MapIntent::Private => match self.policy {
+                AllocPolicy::EagerSegments { split } => {
+                    self.map_eager_private(asid, &mut vma, perm, split.max(1))?;
+                }
+                AllocPolicy::ReservedSegments { sub_pages } => {
+                    self.reserve_private(asid, &vma, sub_pages.max(1))?;
+                }
+                AllocPolicy::DemandPaging => {
+                    // Nothing until first touch.
+                }
+            },
+        }
+
+        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked");
+        space.vmas.insert(va.as_u64(), vma);
+        Ok(())
+    }
+
+    /// Unmaps the VMA starting at `va`, freeing private frames and
+    /// requesting flushes of its pages.
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] for an unknown ASID,
+    /// [`HvcError::Unmapped`] if no VMA starts exactly at `va`.
+    pub fn munmap(&mut self, asid: Asid, va: VirtAddr) -> Result<()> {
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .ok_or(HvcError::BadId("unknown ASID"))?;
+        let vma = space
+            .vmas
+            .remove(&va.as_u64())
+            .ok_or(HvcError::Unmapped { asid, vaddr: va })?;
+        let pages = vma.len >> PAGE_SHIFT;
+        let first = va.page_number();
+        let shared_obj = matches!(vma.backing, VmaBacking::Shared(_) | VmaBacking::SharedRo(_));
+        for i in 0..pages {
+            let vp = first.offset(i);
+            if let Some(pte) = space.page_table.unmap(vp) {
+                if !shared_obj {
+                    self.frames.free_exact(pte.frame, 1);
+                }
+                self.flush_queue.push(FlushRequest::Page(asid, vp.as_u64()));
+                self.stats.flushed_pages += 1;
+            }
+        }
+        if let VmaBacking::Shared(id) | VmaBacking::SharedRo(id) = vma.backing {
+            if let Some(obj) = self.shm.get_mut(id.0 as usize) {
+                obj.attachments = obj.attachments.saturating_sub(1);
+            }
+        }
+        // Eagerly-allocated segments: their frames were just freed via
+        // the page-table entries (eager allocation maps every page), so
+        // only the table entries remain to drop.
+        for sid in vma.segments {
+            self.segments.remove(sid);
+        }
+        // Reservation-policy backing: free the uncommitted remainder and
+        // drop committed sub-segments (their frames were freed above).
+        self.release_reservations(asid, first.as_u64(), pages);
+        // Unmapping a r/w shared region leaves stale bits in the synonym
+        // filter; past a threshold the OS rebuilds it from the page
+        // tables (the policy Section III-B describes).
+        if matches!(vma.backing, VmaBacking::Shared(_)) {
+            let stale = self.stale_filter_pages.entry(asid.as_u16()).or_insert(0);
+            *stale += pages;
+            if *stale > Self::FILTER_STALE_LIMIT {
+                *stale = 0;
+                self.rebuild_filter(asid)?;
+            }
+        }
+        self.stats.shootdowns += 1;
+        Ok(())
+    }
+
+    /// Translates `va` for an access of `kind`, demand-allocating on
+    /// first touch and breaking copy-on-write on writes to content-shared
+    /// pages. This is the path the system simulator's page walker takes on
+    /// a true page-table miss.
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::Unmapped`] outside any VMA,
+    /// [`HvcError::PermissionFault`] for disallowed accesses,
+    /// [`HvcError::OutOfMemory`] when demand allocation fails.
+    pub fn touch(&mut self, asid: Asid, va: VirtAddr, kind: AccessKind) -> Result<Pte> {
+        let required = match kind {
+            AccessKind::Read => Permissions::READ,
+            AccessKind::Write => Permissions::WRITE,
+            AccessKind::Fetch => Permissions::EXEC,
+        };
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .ok_or(HvcError::BadId("unknown ASID"))?;
+        let vpage = va.page_number();
+        space.touched.insert(vpage.as_u64());
+
+        if let Some(pte) = space.page_table.lookup(vpage) {
+            if pte.perm.allows(required) {
+                return Ok(pte);
+            }
+            // Write to a read-only content-shared page: COW break.
+            if kind.is_write() {
+                if let Some(vma) = space.vma(va) {
+                    if matches!(vma.backing, VmaBacking::SharedRo(_)) {
+                        return self.break_cow(asid, va);
+                    }
+                }
+            }
+            return Err(HvcError::PermissionFault { asid, vaddr: va, held: pte.perm, required });
+        }
+
+        // Page-table miss: find the VMA and demand-allocate.
+        let vma = space
+            .vma(va)
+            .ok_or(HvcError::Unmapped { asid, vaddr: va })?;
+        if !vma.perm.allows(required) {
+            let held = vma.perm;
+            return Err(HvcError::PermissionFault { asid, vaddr: va, held, required });
+        }
+        debug_assert!(
+            matches!(vma.backing, VmaBacking::Private),
+            "non-private VMAs are populated eagerly"
+        );
+        let perm = vma.perm;
+        if matches!(self.policy, AllocPolicy::ReservedSegments { .. }) {
+            if let Some(pte) = self.commit_reserved(asid, vpage, perm)? {
+                self.stats.minor_faults += 1;
+                return Ok(pte);
+            }
+        }
+        let frame = self.frames.alloc_frame()?;
+        let pte = Pte { frame, perm, shared: false };
+        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked");
+        space.page_table.map(&mut self.meta_frames, vpage, pte)?;
+        self.stats.minor_faults += 1;
+        Ok(pte)
+    }
+
+    /// Reserves contiguous physical backing for a private VMA without
+    /// committing it (ReservedSegments policy). Regions larger than the
+    /// maximum buddy block are reserved in max-block chunks.
+    fn reserve_private(&mut self, asid: Asid, vma: &crate::addrspace::Vma, sub_pages: u64) -> Result<()> {
+        let total = vma.len >> PAGE_SHIFT;
+        let mut done = 0u64;
+        while done < total {
+            let chunk = (total - done).min(crate::frame::MAX_BLOCK_FRAMES);
+            let base_frame = self.frames.alloc_exact(chunk)?;
+            let subs = chunk.div_ceil(sub_pages) as usize;
+            self.reservations.push(Reservation {
+                asid: asid.as_u16(),
+                start_vpn: vma.start.page_number().as_u64() + done,
+                pages: chunk,
+                base_frame,
+                sub_pages,
+                committed: vec![None; subs],
+            });
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Commits the reserved sub-segment containing `vpage`: maps its
+    /// pages, registers (or extends) a segment, and accounts the newly
+    /// committed memory. Returns `None` if no reservation covers the
+    /// page.
+    fn commit_reserved(
+        &mut self,
+        asid: Asid,
+        vpage: VirtPage,
+        perm: Permissions,
+    ) -> Result<Option<Pte>> {
+        let vpn = vpage.as_u64();
+        let Some(ridx) = self.reservations.iter().position(|r| {
+            r.asid == asid.as_u16() && vpn >= r.start_vpn && vpn < r.start_vpn + r.pages
+        }) else {
+            return Ok(None);
+        };
+        let (sub_idx, sub_start, sub_len, sub_frame, left_seg, right_seg) = {
+            let r = &self.reservations[ridx];
+            let sub_idx = ((vpn - r.start_vpn) / r.sub_pages) as usize;
+            let sub_start = r.start_vpn + sub_idx as u64 * r.sub_pages;
+            let sub_len = r.sub_pages.min(r.start_vpn + r.pages - sub_start);
+            let sub_frame = r.base_frame.offset(sub_start - r.start_vpn);
+            let left_seg = if sub_idx > 0 { r.committed[sub_idx - 1] } else { None };
+            let right_seg = r.committed.get(sub_idx + 1).copied().flatten();
+            (sub_idx, sub_start, sub_len, sub_frame, left_seg, right_seg)
+        };
+
+        // Map the sub-segment's pages.
+        for i in 0..sub_len {
+            let pte = Pte { frame: sub_frame.offset(i), perm, shared: false };
+            let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+            space
+                .page_table
+                .map(&mut self.meta_frames, VirtPage::new(sub_start + i), pte)?;
+        }
+
+        // Register the segment, merging with committed neighbours (VA
+        // and PA are contiguous inside a reservation by construction).
+        let seg_id = match (left_seg, right_seg) {
+            (Some(l), Some(r)) => {
+                // Bridge: absorb the sub-unit and the whole right segment
+                // into the left segment.
+                let right = self.segments.remove(r).expect("live segment");
+                let left = *self.segments.get(l).expect("live segment");
+                self.segments
+                    .grow(l, left.len + (sub_len << PAGE_SHIFT) + right.len)?;
+                // Re-point every sub-unit that referenced the right
+                // segment at the merged left one.
+                for c in &mut self.reservations[ridx].committed {
+                    if *c == Some(r) {
+                        *c = Some(l);
+                    }
+                }
+                l
+            }
+            (Some(l), None) => {
+                let left = *self.segments.get(l).expect("live segment");
+                self.segments.grow(l, left.len + (sub_len << PAGE_SHIFT))?;
+                l
+            }
+            (None, Some(r)) => {
+                self.segments.extend_down(
+                    r,
+                    VirtPage::new(sub_start).base(),
+                    sub_frame.base(),
+                )?;
+                r
+            }
+            (None, None) => self.segments.insert(
+                asid,
+                VirtPage::new(sub_start).base(),
+                sub_len << PAGE_SHIFT,
+                sub_frame.base(),
+            )?,
+        };
+        self.reservations[ridx].committed[sub_idx] = Some(seg_id);
+        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+        space.eager_allocated += sub_len << PAGE_SHIFT;
+        let off = vpn - sub_start;
+        Ok(Some(Pte { frame: sub_frame.offset(off), perm, shared: false }))
+    }
+
+    /// Read-path convenience wrapper over [`Kernel::touch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Kernel::touch`].
+    pub fn translate_touch(&mut self, asid: Asid, va: VirtAddr) -> Result<Pte> {
+        self.touch(asid, va, AccessKind::Read)
+    }
+
+    /// Transitions an already-mapped private page to shared (synonym)
+    /// status: sets the PTE's shared bit, inserts the page into the
+    /// synonym filter, and requests a flush of its cachelines — the
+    /// paper's private→synonym transition.
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] / [`HvcError::Unmapped`] for unknown targets.
+    pub fn mark_page_shared(&mut self, asid: Asid, va: VirtAddr) -> Result<()> {
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .ok_or(HvcError::BadId("unknown ASID"))?;
+        let vpage = va.page_number();
+        let pte = space
+            .page_table
+            .lookup_mut(vpage)
+            .ok_or(HvcError::Unmapped { asid, vaddr: va })?;
+        if !pte.shared {
+            pte.shared = true;
+            space.filter.insert_page(va);
+            self.stats.filter_insertions += 1;
+            self.flush_queue.push(FlushRequest::Page(asid, vpage.as_u64()));
+            self.stats.flushed_pages += 1;
+            self.stats.shootdowns += 1;
+        }
+        Ok(())
+    }
+
+    /// Downgrades a mapped page to read-only in place (content-based
+    /// sharing begins): cached lines keep their virtual names but their
+    /// permission bits are downgraded; no synonym-filter update is needed
+    /// (the paper's Section III-D optimization).
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] / [`HvcError::Unmapped`] for unknown targets.
+    pub fn downgrade_page_read_only(&mut self, asid: Asid, va: VirtAddr) -> Result<()> {
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .ok_or(HvcError::BadId("unknown ASID"))?;
+        let vpage = va.page_number();
+        let pte = space
+            .page_table
+            .lookup_mut(vpage)
+            .ok_or(HvcError::Unmapped { asid, vaddr: va })?;
+        pte.perm = pte.perm.downgraded_read_only();
+        self.flush_queue
+            .push(FlushRequest::DowngradeRo(asid, vpage.as_u64()));
+        self.stats.shootdowns += 1;
+        Ok(())
+    }
+
+    /// Rebuilds the synonym filter of `asid` from its page tables (the
+    /// OS's response to filter saturation from stale bits).
+    ///
+    /// # Errors
+    ///
+    /// [`HvcError::BadId`] for an unknown ASID.
+    pub fn rebuild_filter(&mut self, asid: Asid) -> Result<()> {
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .ok_or(HvcError::BadId("unknown ASID"))?;
+        space.filter.clear();
+        let shared: Vec<VirtPage> = space
+            .page_table
+            .iter()
+            .filter(|(_, pte)| pte.shared)
+            .map(|(vp, _)| vp)
+            .collect();
+        for vp in shared {
+            space.filter.insert_page(vp.base());
+            self.stats.filter_insertions += 1;
+        }
+        self.stats.filter_rebuilds += 1;
+        self.stats.shootdowns += 1;
+        Ok(())
+    }
+
+    // --- read-only views used by the hardware crates ---
+
+    /// The address space of `asid`.
+    pub fn space(&self, asid: Asid) -> Option<&AddressSpace> {
+        self.spaces.get(&asid.as_u16())
+    }
+
+    /// Page-table walk for the hardware walker: leaf PTE plus the four
+    /// entry addresses touched. `None` means a true page fault.
+    pub fn walk(&self, asid: Asid, vpage: VirtPage) -> Option<(Pte, WalkPath)> {
+        self.spaces.get(&asid.as_u16())?.page_table.walk(vpage)
+    }
+
+    /// The system-wide segment table.
+    pub fn segments(&self) -> &SegmentTable {
+        &self.segments
+    }
+
+    /// Physical address of byte `offset` inside shared object `id`
+    /// (used to resolve intermediate-space writebacks under the Enigma
+    /// scheme, which names shared lines object-relatively).
+    pub fn shm_phys_addr(&self, id: crate::ShmId, offset: u64) -> Option<hvc_types::PhysAddr> {
+        let obj = self.shm.get(id.0 as usize)?;
+        let frame = obj.frames.get((offset >> PAGE_SHIFT) as usize)?;
+        Some(hvc_types::PhysAddr::new(frame.base().as_u64() + (offset & (PAGE_SIZE - 1))))
+    }
+
+    /// Enigma-style first-level translation (Section II of the paper):
+    /// maps `(asid, va)` to a canonical *intermediate-space* line at VMA
+    /// (coarse-segment) granularity. R/w-shared mappings of one object
+    /// resolve to one object-relative intermediate line regardless of the
+    /// attaching process or virtual address, so synonyms collapse without
+    /// a filter; private mappings keep their per-ASID virtual name.
+    ///
+    /// Returns `(shared, canonical_line)` — `None` outside every VMA.
+    pub fn intermediate_line(&self, asid: Asid, va: VirtAddr) -> Option<(bool, u64)> {
+        let space = self.spaces.get(&asid.as_u16())?;
+        let vma = space.vma(va)?;
+        match vma.backing {
+            VmaBacking::Shared(id) => {
+                // Object-relative intermediate address in a reserved
+                // region of the intermediate space.
+                let offset = va - vma.start;
+                let ia = (1u64 << 46) + ((id.0 as u64) << 34) + offset;
+                Some((true, ia >> hvc_types::LINE_SHIFT))
+            }
+            _ => Some((false, va.line().as_u64())),
+        }
+    }
+
+    /// Drains pending hardware flush requests (the system simulator
+    /// applies them to the cache hierarchy and TLBs).
+    pub fn drain_flush_requests(&mut self) -> Vec<FlushRequest> {
+        std::mem::take(&mut self.flush_queue)
+    }
+
+    /// Kernel event counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Free physical frames remaining.
+    pub fn free_frames(&self) -> u64 {
+        self.frames.free_frames()
+    }
+
+    /// The allocation policy.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    // --- internals ---
+
+    fn map_shared_object(
+        &mut self,
+        asid: Asid,
+        vma: &Vma,
+        id: ShmId,
+        perm: Permissions,
+        intent: MapIntent,
+    ) -> Result<()> {
+        let read_only = matches!(intent, MapIntent::SharedRo(_));
+        let obj = self
+            .shm
+            .get(id.0 as usize)
+            .ok_or(HvcError::BadId("unknown shm object"))?;
+        let pages = vma.len >> PAGE_SHIFT;
+        if pages > obj.frames.len() as u64 {
+            return Err(HvcError::BadConfig("mapping longer than shm object"));
+        }
+        let frames: Vec<_> = obj.frames[..pages as usize].to_vec();
+        let first = vma.start.page_number();
+        let effective_perm = if read_only { perm.downgraded_read_only() } else { perm };
+        for (i, frame) in frames.into_iter().enumerate() {
+            let vp = first.offset(i as u64);
+            // R/w shared pages are synonyms; r/o content mappings are not.
+            let pte = Pte { frame, perm: effective_perm, shared: !read_only };
+            let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+            space.page_table.map(&mut self.meta_frames, vp, pte)?;
+            if !read_only {
+                space.filter.insert_page(vp.base());
+                self.stats.filter_insertions += 1;
+            }
+        }
+        if !read_only {
+            // One shootdown per mapping operation propagates the filter
+            // update to other cores running this ASID.
+            self.stats.shootdowns += 1;
+        }
+        self.shm[id.0 as usize].attachments += 1;
+        Ok(())
+    }
+
+    fn map_dma(&mut self, asid: Asid, vma: &Vma, perm: Permissions) -> Result<()> {
+        let pages = vma.len >> PAGE_SHIFT;
+        let base = self.frames.alloc_exact(pages)?;
+        let first = vma.start.page_number();
+        for i in 0..pages {
+            let pte = Pte { frame: base.offset(i), perm, shared: true };
+            let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+            space.page_table.map(&mut self.meta_frames, first.offset(i), pte)?;
+            space.filter.insert_page(first.offset(i).base());
+            self.stats.filter_insertions += 1;
+        }
+        self.stats.shootdowns += 1;
+        Ok(())
+    }
+
+    fn map_eager_private(
+        &mut self,
+        asid: Asid,
+        vma: &mut Vma,
+        perm: Permissions,
+        split: u32,
+    ) -> Result<()> {
+        let total_pages = vma.len >> PAGE_SHIFT;
+        let piece_pages = total_pages.div_ceil(u64::from(split));
+        let mut mapped = 0u64;
+        while mapped < total_pages {
+            let pages = piece_pages.min(total_pages - mapped);
+            let piece_va = vma.start + (mapped << PAGE_SHIFT);
+            let seg_id = self.alloc_segment(asid, piece_va, pages, split == 1)?;
+            let seg = *self.segments.get(seg_id).expect("just inserted");
+            // Fill page-table entries for the piece (eager population).
+            let first_vp = piece_va.page_number();
+            let first_frame = seg.translate(piece_va).frame_number();
+            for i in 0..pages {
+                let pte = Pte { frame: first_frame.offset(i), perm, shared: false };
+                let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+                space.page_table.map(&mut self.meta_frames, first_vp.offset(i), pte)?;
+            }
+            if !vma.segments.contains(&seg_id) {
+                vma.segments.push(seg_id);
+            }
+            mapped += pages;
+        }
+        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+        space.eager_allocated += vma.len;
+        Ok(())
+    }
+
+    /// Allocates (or extends) a segment covering `pages` pages at `va`.
+    fn alloc_segment(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        pages: u64,
+        allow_extend: bool,
+    ) -> Result<SegmentId> {
+        // Try to grow the previous segment in place: virtual contiguity
+        // plus free physical frames right after it.
+        if allow_extend {
+            if let Some(&last) = self.last_segment.get(&asid.as_u16()) {
+                if let Some(seg) = self.segments.get(last).copied() {
+                    let phys_next = seg.translate(seg.base + (seg.len - 1)).frame_number().offset(1);
+                    if seg.end() == va && self.frames.is_run_free(phys_next, pages) {
+                        self.frames.claim_run(phys_next, pages)?;
+                        self.segments.grow(last, seg.len + (pages << PAGE_SHIFT))?;
+                        return Ok(last);
+                    }
+                }
+            }
+        }
+        let base_frame = self.frames.alloc_exact(pages)?;
+        let id = self.segments.insert(
+            asid,
+            va,
+            pages << PAGE_SHIFT,
+            base_frame.base(),
+        )?;
+        self.last_segment.insert(asid.as_u16(), id);
+        Ok(id)
+    }
+
+    fn break_cow(&mut self, asid: Asid, va: VirtAddr) -> Result<Pte> {
+        let frame = self.frames.alloc_frame()?;
+        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+        let vpage = va.page_number();
+        let old = space
+            .page_table
+            .lookup(vpage)
+            .ok_or(HvcError::Unmapped { asid, vaddr: va })?;
+        let pte = Pte { frame, perm: old.perm | Permissions::RW, shared: false };
+        space.page_table.map(&mut self.meta_frames, vpage, pte)?;
+        // The stale r/o lines (old name, old perm) must be flushed.
+        self.flush_queue.push(FlushRequest::Page(asid, vpage.as_u64()));
+        self.stats.flushed_pages += 1;
+        self.stats.cow_breaks += 1;
+        self.stats.shootdowns += 1;
+        Ok(pte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn demand_kernel() -> Kernel {
+        Kernel::new(GIB, AllocPolicy::DemandPaging)
+    }
+
+    fn eager_kernel() -> Kernel {
+        Kernel::new(GIB, AllocPolicy::EagerSegments { split: 1 })
+    }
+
+    #[test]
+    fn demand_paging_allocates_on_touch() {
+        let mut k = demand_kernel();
+        let asid = k.create_process().unwrap();
+        k.mmap(asid, VirtAddr::new(0x10000), 0x4000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        assert_eq!(k.space(asid).unwrap().mapped_pages(), 0);
+        let pte = k.translate_touch(asid, VirtAddr::new(0x10040)).unwrap();
+        assert!(!pte.shared);
+        assert_eq!(k.space(asid).unwrap().mapped_pages(), 1);
+        assert_eq!(k.stats().minor_faults, 1);
+        // Second touch of the same page: no new fault.
+        k.translate_touch(asid, VirtAddr::new(0x10080)).unwrap();
+        assert_eq!(k.stats().minor_faults, 1);
+    }
+
+    #[test]
+    fn untouched_unmapped_address_faults() {
+        let mut k = demand_kernel();
+        let asid = k.create_process().unwrap();
+        assert!(matches!(
+            k.translate_touch(asid, VirtAddr::new(0xdead_0000)),
+            Err(HvcError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn eager_policy_populates_and_registers_segment() {
+        let mut k = eager_kernel();
+        let asid = k.create_process().unwrap();
+        k.mmap(asid, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        let space = k.space(asid).unwrap();
+        assert_eq!(space.mapped_pages(), 16, "pages populated eagerly");
+        assert_eq!(k.segments().count_asid(asid), 1);
+        let seg = k.segments().find(asid, VirtAddr::new(0x104000)).unwrap();
+        assert_eq!(seg.len, 0x10000);
+        // Segment translation matches the page table.
+        let pte = k.walk(asid, VirtAddr::new(0x104000).page_number()).unwrap().0;
+        assert_eq!(
+            seg.translate(VirtAddr::new(0x104000)).frame_number(),
+            pte.frame
+        );
+        assert_eq!(space.eager_allocated_bytes(), 0x10000);
+    }
+
+    #[test]
+    fn contiguous_growth_extends_segment_in_place() {
+        let mut k = eager_kernel();
+        let asid = k.create_process().unwrap();
+        k.mmap(asid, VirtAddr::new(0x100000), 0x4000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        // Next mmap is VA-contiguous; the frames after the segment are
+        // still free, so it should extend rather than add a segment.
+        k.mmap(asid, VirtAddr::new(0x104000), 0x4000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        assert_eq!(k.segments().count_asid(asid), 1);
+        let seg = k.segments().iter_asid(asid).next().unwrap();
+        assert_eq!(seg.len, 0x8000);
+    }
+
+    #[test]
+    fn split_policy_breaks_allocation_into_pieces() {
+        let mut k = Kernel::new(GIB, AllocPolicy::EagerSegments { split: 4 });
+        let asid = k.create_process().unwrap();
+        k.mmap(asid, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        assert_eq!(k.segments().count_asid(asid), 4);
+    }
+
+    #[test]
+    fn shm_mapping_creates_synonyms_in_both_spaces() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        let b = k.create_process().unwrap();
+        let shm = k.shm_create(0x2000).unwrap();
+        k.mmap(a, VirtAddr::new(0x7000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
+            .unwrap();
+        k.mmap(b, VirtAddr::new(0x9000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
+            .unwrap();
+        let pa = k.translate_touch(a, VirtAddr::new(0x7000_0000)).unwrap();
+        let pb = k.translate_touch(b, VirtAddr::new(0x9000_0000)).unwrap();
+        assert_eq!(pa.frame, pb.frame, "same physical frame — a synonym");
+        assert!(pa.shared && pb.shared);
+        // Both filters report the candidate at their own VA.
+        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+        assert!(k.space(b).unwrap().filter.is_candidate(VirtAddr::new(0x9000_0000)));
+        // And not at unrelated addresses (modulo false positives, which
+        // these values do not trigger).
+        assert!(!k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x1234_0000)));
+    }
+
+    #[test]
+    fn shared_ro_is_not_a_synonym_and_cow_breaks_on_write() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        let shm = k.shm_create(0x1000).unwrap();
+        k.mmap(a, VirtAddr::new(0x5000_0000), 0x1000, Permissions::RW, MapIntent::SharedRo(shm))
+            .unwrap();
+        let pte = k.translate_touch(a, VirtAddr::new(0x5000_0000)).unwrap();
+        assert!(!pte.shared, "r/o content sharing is served virtually");
+        assert!(!pte.perm.is_writable());
+        let before = pte.frame;
+        // Write: COW break to a fresh private frame.
+        let pte2 = k.touch(a, VirtAddr::new(0x5000_0000), AccessKind::Write).unwrap();
+        assert_ne!(pte2.frame, before);
+        assert!(pte2.perm.is_writable());
+        assert_eq!(k.stats().cow_breaks, 1);
+        let reqs = k.drain_flush_requests();
+        assert!(reqs.contains(&FlushRequest::Page(a, 0x50000)));
+    }
+
+    #[test]
+    fn dma_pages_are_synonyms() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x8000_0000), 0x2000, Permissions::RW, MapIntent::Dma)
+            .unwrap();
+        let pte = k.translate_touch(a, VirtAddr::new(0x8000_0000)).unwrap();
+        assert!(pte.shared);
+        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x8000_0000)));
+    }
+
+    #[test]
+    fn mark_page_shared_transition() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x1000_0000), 0x1000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        k.translate_touch(a, VirtAddr::new(0x1000_0000)).unwrap();
+        k.drain_flush_requests();
+        k.mark_page_shared(a, VirtAddr::new(0x1000_0000)).unwrap();
+        let pte = k.walk(a, VirtAddr::new(0x1000_0000).page_number()).unwrap().0;
+        assert!(pte.shared);
+        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x1000_0000)));
+        let reqs = k.drain_flush_requests();
+        assert_eq!(reqs, vec![FlushRequest::Page(a, 0x10000)]);
+        // Idempotent: re-marking does not flush again.
+        k.mark_page_shared(a, VirtAddr::new(0x1000_0000)).unwrap();
+        assert!(k.drain_flush_requests().is_empty());
+    }
+
+    #[test]
+    fn permission_fault_on_disallowed_access() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x2000_0000), 0x1000, Permissions::READ, MapIntent::Private)
+            .unwrap();
+        assert!(matches!(
+            k.touch(a, VirtAddr::new(0x2000_0000), AccessKind::Write),
+            Err(HvcError::PermissionFault { .. })
+        ));
+    }
+
+    #[test]
+    fn munmap_frees_and_flushes() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x3000_0000), 0x2000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        k.translate_touch(a, VirtAddr::new(0x3000_0000)).unwrap();
+        k.translate_touch(a, VirtAddr::new(0x3000_1000)).unwrap();
+        let free_before = k.free_frames();
+        k.munmap(a, VirtAddr::new(0x3000_0000)).unwrap();
+        assert_eq!(k.free_frames(), free_before + 2);
+        assert!(k
+            .drain_flush_requests()
+            .iter()
+            .all(|r| matches!(r, FlushRequest::Page(_, _))));
+        assert!(matches!(
+            k.translate_touch(a, VirtAddr::new(0x3000_0000)),
+            Err(HvcError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn destroy_process_releases_resources() {
+        let mut k = eager_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        assert_eq!(k.segments().len(), 1);
+        k.destroy_process(a).unwrap();
+        assert_eq!(k.segments().len(), 0);
+        assert!(k.space(a).is_none());
+        assert!(k
+            .drain_flush_requests()
+            .contains(&FlushRequest::Space(a)));
+    }
+
+    #[test]
+    fn rebuild_filter_drops_stale_bits() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        let shm = k.shm_create(0x1000).unwrap();
+        k.mmap(a, VirtAddr::new(0x7000_0000), 0x1000, Permissions::RW, MapIntent::Shared(shm))
+            .unwrap();
+        // Unmap the shared region: the filter still has its (stale) bits.
+        k.munmap(a, VirtAddr::new(0x7000_0000)).unwrap();
+        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+        k.rebuild_filter(a).unwrap();
+        assert!(!k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+        assert_eq!(k.stats().filter_rebuilds, 1);
+    }
+
+    #[test]
+    fn overlapping_mmap_rejected() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x1000), 0x2000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        assert!(matches!(
+            k.mmap(a, VirtAddr::new(0x2000), 0x1000, Permissions::RW, MapIntent::Private),
+            Err(HvcError::RegionOverlap { .. })
+        ));
+        assert!(matches!(
+            k.mmap(a, VirtAddr::new(0x1800), 0x1000, Permissions::RW, MapIntent::Private),
+            Err(HvcError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn reserved_policy_commits_on_touch_and_merges_left() {
+        let mut k = Kernel::new(GIB, AllocPolicy::ReservedSegments { sub_pages: 4 });
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        // Reservation made, nothing committed yet.
+        assert_eq!(k.space(a).unwrap().mapped_pages(), 0);
+        assert_eq!(k.segments().count_asid(a), 0);
+        assert_eq!(k.space(a).unwrap().eager_allocated_bytes(), 0);
+
+        // First touch commits one 4-page sub-segment.
+        let pte = k.translate_touch(a, VirtAddr::new(0x100000)).unwrap();
+        assert_eq!(k.space(a).unwrap().mapped_pages(), 4);
+        assert_eq!(k.segments().count_asid(a), 1);
+        assert_eq!(k.space(a).unwrap().eager_allocated_bytes(), 4 * 0x1000);
+
+        // Touching the next sub-segment merges it into the same segment.
+        let pte2 = k.translate_touch(a, VirtAddr::new(0x104000)).unwrap();
+        assert_eq!(k.segments().count_asid(a), 1, "left merge");
+        let seg = k.segments().iter_asid(a).next().unwrap();
+        assert_eq!(seg.len, 8 * 0x1000);
+        // Physical contiguity within the reservation.
+        assert_eq!(pte2.frame.as_u64(), pte.frame.as_u64() + 4);
+
+        // A hole: touching a later sub-segment creates a second segment.
+        k.translate_touch(a, VirtAddr::new(0x10c000)).unwrap();
+        assert_eq!(k.segments().count_asid(a), 2);
+        // Segment translation agrees with the page table everywhere.
+        for off in [0u64, 0x4000, 0xc000] {
+            let va = VirtAddr::new(0x100000 + off);
+            let seg = k.segments().find(a, va).unwrap();
+            let pte = k.walk(a, va.page_number()).unwrap().0;
+            assert_eq!(seg.translate(va).frame_number(), pte.frame);
+        }
+    }
+
+    #[test]
+    fn reserved_policy_improves_utilization_accounting() {
+        // Eager: allocates everything up front. Reserved: only touched
+        // sub-segments count.
+        let mut k = Kernel::new(GIB, AllocPolicy::ReservedSegments { sub_pages: 8 });
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x100000), 0x100000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        k.translate_touch(a, VirtAddr::new(0x100000)).unwrap();
+        let space = k.space(a).unwrap();
+        assert_eq!(space.eager_allocated_bytes(), 8 * 0x1000);
+        assert!(space.eager_utilization().unwrap() > 0.1);
+    }
+
+    #[test]
+    fn filter_rebuilds_automatically_after_stale_unmaps() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        // Map and unmap shared regions repeatedly: each unmap leaves
+        // stale filter bits; past the threshold the OS rebuilds.
+        for i in 0..3u64 {
+            let shm = k.shm_create(0x40_000).unwrap();
+            let va = VirtAddr::new(0x7000_0000 + i * 0x100_0000);
+            k.mmap(a, va, 0x40_000, Permissions::RW, MapIntent::Shared(shm)).unwrap();
+            k.munmap(a, va).unwrap();
+        }
+        // 3 × 64 pages unmapped > 64-page threshold → at least one rebuild.
+        assert!(k.stats().filter_rebuilds >= 1);
+        // After the final rebuild(s), fully-unmapped addresses are clean
+        // once the last rebuild has happened.
+        k.rebuild_filter(a).unwrap();
+        assert!(!k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+    }
+
+    #[test]
+    fn walk_returns_path_for_hardware_walker() {
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x1000), 0x1000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        k.translate_touch(a, VirtAddr::new(0x1000)).unwrap();
+        let (pte, path) = k.walk(a, VirtAddr::new(0x1000).page_number()).unwrap();
+        assert!(pte.perm.allows(Permissions::READ));
+        assert_eq!(path.len(), crate::PT_LEVELS);
+    }
+}

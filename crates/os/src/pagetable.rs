@@ -1,0 +1,257 @@
+//! Four-level x86-64 radix page tables.
+//!
+//! Page-table nodes occupy simulated physical frames so that a hardware
+//! page walk can be charged as four real memory references (the entry
+//! addresses are reported via [`WalkPath`]); this is what makes delayed
+//! translation's interaction with the cache hierarchy faithful.
+
+use crate::BuddyAllocator;
+use hvc_types::{Permissions, PhysAddr, PhysFrame, Result, VirtPage};
+use std::collections::HashMap;
+
+/// Radix levels of an x86-64 page table (PML4 → PDPT → PD → PT).
+pub const PT_LEVELS: usize = 4;
+/// Index bits per level.
+const LEVEL_BITS: u32 = 9;
+
+/// A leaf page-table entry.
+///
+/// Besides the frame and permissions, the paper adds "a single sharing
+/// bit for page mappings to mark a page sharing or non-sharing" — the
+/// `shared` bit that distinguishes synonym pages, and which TLB fills use
+/// to report synonym-filter false positives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// Mapped physical frame.
+    pub frame: PhysFrame,
+    /// Access permissions.
+    pub perm: Permissions,
+    /// `true` if the page is a synonym (r/w shared or DMA) page.
+    pub shared: bool,
+}
+
+/// The four physical entry addresses a hardware walk reads, root first.
+pub type WalkPath = [PhysAddr; PT_LEVELS];
+
+/// One interior node of the radix tree.
+#[derive(Clone, Debug)]
+struct Node {
+    frame: PhysFrame,
+    children: HashMap<u16, usize>,
+}
+
+/// A 4-level radix page table for one address space.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    /// Arena of interior nodes; index 0 is the root (PML4).
+    nodes: Vec<Node>,
+    /// Leaf entries keyed by virtual page number.
+    leaves: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty table, allocating its root node from `frames`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hvc_types::HvcError::OutOfMemory`] if no frame is free.
+    pub fn new(frames: &mut BuddyAllocator) -> Result<Self> {
+        let root = Node { frame: frames.alloc_frame()?, children: HashMap::new() };
+        Ok(PageTable { nodes: vec![root], leaves: HashMap::new() })
+    }
+
+    /// Installs or replaces the mapping for `vpage`.
+    ///
+    /// Interior nodes are created on demand (each takes a physical frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hvc_types::HvcError::OutOfMemory`] if an interior node
+    /// cannot be allocated.
+    pub fn map(&mut self, frames: &mut BuddyAllocator, vpage: VirtPage, pte: Pte) -> Result<()> {
+        let mut node = 0usize;
+        for level in (1..PT_LEVELS).rev() {
+            let idx = Self::level_index(vpage, level);
+            node = match self.nodes[node].children.get(&idx) {
+                Some(&child) => child,
+                None => {
+                    let frame = frames.alloc_frame()?;
+                    let child = self.nodes.len();
+                    self.nodes.push(Node { frame, children: HashMap::new() });
+                    self.nodes[node].children.insert(idx, child);
+                    child
+                }
+            };
+        }
+        self.leaves.insert(vpage.as_u64(), pte);
+        Ok(())
+    }
+
+    /// Removes the mapping for `vpage`, returning the old entry.
+    pub fn unmap(&mut self, vpage: VirtPage) -> Option<Pte> {
+        self.leaves.remove(&vpage.as_u64())
+    }
+
+    /// Looks up the leaf entry for `vpage`.
+    pub fn lookup(&self, vpage: VirtPage) -> Option<Pte> {
+        self.leaves.get(&vpage.as_u64()).copied()
+    }
+
+    /// Mutable access to the leaf entry for `vpage` (permission or
+    /// sharing-bit changes).
+    pub fn lookup_mut(&mut self, vpage: VirtPage) -> Option<&mut Pte> {
+        self.leaves.get_mut(&vpage.as_u64())
+    }
+
+    /// Returns the leaf entry together with the four physical addresses a
+    /// hardware walker would read, root first. The path is well-defined
+    /// even for unmapped pages as far as nodes exist; `None` means the
+    /// page is unmapped (a true page fault).
+    pub fn walk(&self, vpage: VirtPage) -> Option<(Pte, WalkPath)> {
+        let pte = self.lookup(vpage)?;
+        Some((pte, self.walk_path(vpage)))
+    }
+
+    /// The physical entry addresses a walk of `vpage` touches, root
+    /// first. Levels whose interior node is missing repeat the deepest
+    /// existing node's entry address (the walk aborts there in reality;
+    /// charging the same address keeps accounting simple and conservative).
+    pub fn walk_path(&self, vpage: VirtPage) -> WalkPath {
+        let mut path = [PhysAddr::new(0); PT_LEVELS];
+        let mut node = 0usize;
+        for level in (0..PT_LEVELS).rev() {
+            let idx = Self::level_index(vpage, level);
+            let entry_addr = self.nodes[node].frame.base() + u64::from(idx) * 8;
+            path[PT_LEVELS - 1 - level] = entry_addr;
+            if level > 0 {
+                match self.nodes[node].children.get(&idx) {
+                    Some(&child) => node = child,
+                    None => {
+                        // Walk aborts; charge remaining levels to the same
+                        // entry (they will be absorbed by the cache).
+                        for l in (0..level).rev() {
+                            path[PT_LEVELS - 1 - l] = entry_addr;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        path
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Iterates over `(vpage, pte)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtPage, Pte)> + '_ {
+        self.leaves.iter().map(|(&vpn, &pte)| (VirtPage::new(vpn), pte))
+    }
+
+    /// Frames used by interior nodes (page-table overhead accounting).
+    pub fn node_frames(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index into the page-table level `level` (0 = leaf PT, 3 = PML4).
+    fn level_index(vpage: VirtPage, level: usize) -> u16 {
+        ((vpage.as_u64() >> (LEVEL_BITS as usize * level)) & ((1 << LEVEL_BITS) - 1)) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BuddyAllocator, PageTable) {
+        let mut b = BuddyAllocator::new(1 << 30);
+        let pt = PageTable::new(&mut b).unwrap();
+        (b, pt)
+    }
+
+    fn pte(frame: u64) -> Pte {
+        Pte { frame: PhysFrame::new(frame), perm: Permissions::RW, shared: false }
+    }
+
+    #[test]
+    fn map_then_lookup() {
+        let (mut b, mut pt) = setup();
+        let vp = VirtPage::new(0x12345);
+        pt.map(&mut b, vp, pte(7)).unwrap();
+        assert_eq!(pt.lookup(vp), Some(pte(7)));
+        assert_eq!(pt.lookup(VirtPage::new(0x12346)), None);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let (mut b, mut pt) = setup();
+        let vp = VirtPage::new(5);
+        pt.map(&mut b, vp, pte(1)).unwrap();
+        assert_eq!(pt.unmap(vp), Some(pte(1)));
+        assert_eq!(pt.lookup(vp), None);
+        assert_eq!(pt.unmap(vp), None);
+    }
+
+    #[test]
+    fn walk_reports_four_distinct_levels_for_spread_pages() {
+        let (mut b, mut pt) = setup();
+        let vp = VirtPage::new(0x0001_2345_6789);
+        pt.map(&mut b, vp, pte(3)).unwrap();
+        let (got, path) = pt.walk(vp).unwrap();
+        assert_eq!(got, pte(3));
+        // All four entry addresses are distinct (different nodes).
+        for i in 0..PT_LEVELS {
+            for j in i + 1..PT_LEVELS {
+                assert_ne!(path[i], path[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_pages_share_upper_level_nodes() {
+        let (mut b, mut pt) = setup();
+        pt.map(&mut b, VirtPage::new(0), pte(1)).unwrap();
+        let nodes_before = pt.node_frames();
+        pt.map(&mut b, VirtPage::new(1), pte(2)).unwrap();
+        assert_eq!(pt.node_frames(), nodes_before, "same PT leaf node");
+        let p0 = pt.walk_path(VirtPage::new(0));
+        let p1 = pt.walk_path(VirtPage::new(1));
+        assert_eq!(p0[0], p1[0], "same PML4 entry");
+        assert_eq!(p0[1], p1[1]);
+        assert_eq!(p0[2], p1[2]);
+        assert_ne!(p0[3], p1[3], "different PT entries");
+    }
+
+    #[test]
+    fn walk_of_unmapped_page_is_none_but_path_exists() {
+        let (mut b, mut pt) = setup();
+        pt.map(&mut b, VirtPage::new(0), pte(1)).unwrap();
+        assert!(pt.walk(VirtPage::new(0x8000_0000)).is_none());
+        let path = pt.walk_path(VirtPage::new(0x8000_0000));
+        // Walk aborts at the root; all levels charge the root entry.
+        assert_eq!(path[0], path[1]);
+    }
+
+    #[test]
+    fn lookup_mut_edits_in_place() {
+        let (mut b, mut pt) = setup();
+        let vp = VirtPage::new(9);
+        pt.map(&mut b, vp, pte(4)).unwrap();
+        pt.lookup_mut(vp).unwrap().shared = true;
+        assert!(pt.lookup(vp).unwrap().shared);
+    }
+
+    #[test]
+    fn iter_visits_all_mappings() {
+        let (mut b, mut pt) = setup();
+        for i in 0..10 {
+            pt.map(&mut b, VirtPage::new(i), pte(i)).unwrap();
+        }
+        let mut seen: Vec<u64> = pt.iter().map(|(vp, _)| vp.as_u64()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+}

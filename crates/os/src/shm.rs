@@ -1,0 +1,16 @@
+//! Shared-memory objects — the source of r/w synonym pages.
+
+use hvc_types::PhysFrame;
+
+/// Identifier of a System-V-style shared memory object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShmId(pub u32);
+
+/// A shared memory object: a set of physical frames that multiple address
+/// spaces may map (at different virtual addresses — synonyms).
+#[derive(Clone, Debug)]
+pub(crate) struct ShmObject {
+    pub frames: Vec<PhysFrame>,
+    /// Number of address spaces currently mapping the object.
+    pub attachments: u32,
+}

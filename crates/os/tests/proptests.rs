@@ -1,0 +1,135 @@
+//! Property tests for the OS substrate.
+
+use hvc_os::{AllocPolicy, BuddyAllocator, Kernel, MapIntent, SegmentTable};
+use hvc_types::{Asid, HvcError, Permissions, PhysAddr, VirtAddr, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Interleaved alloc/free sequences keep the buddy allocator
+    /// consistent (no double handouts, exact free-frame accounting).
+    #[test]
+    fn buddy_interleaved_alloc_free(script in prop::collection::vec((1u64..300, any::<bool>()), 1..60)) {
+        let mut b = BuddyAllocator::new(1 << 30);
+        let total = b.free_frames();
+        let mut live: Vec<(hvc_types::PhysFrame, u64)> = Vec::new();
+        for (n, free_one) in script {
+            if free_one && !live.is_empty() {
+                let (base, m) = live.swap_remove(0);
+                b.free_exact(base, m);
+            } else if let Ok(base) = b.alloc_exact(n) {
+                for &(other, m) in &live {
+                    let (a0, a1) = (base.as_u64(), base.as_u64() + n);
+                    let (b0, b1) = (other.as_u64(), other.as_u64() + m);
+                    prop_assert!(a1 <= b0 || b1 <= a0, "overlapping handout");
+                }
+                live.push((base, n));
+            }
+            let used: u64 = live.iter().map(|&(_, m)| m).sum();
+            prop_assert_eq!(b.free_frames(), total - used);
+        }
+    }
+
+    /// Page tables: mapping then walking always agrees, for arbitrary
+    /// page numbers spread across the 48-bit space.
+    #[test]
+    fn page_table_walk_agrees_with_map(vpns in prop::collection::btree_set(0u64..(1u64 << 36), 1..80)) {
+        let mut b = BuddyAllocator::new(1 << 30);
+        let mut pt = hvc_os::PageTable::new(&mut b).unwrap();
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let pte = hvc_os::Pte {
+                frame: hvc_types::PhysFrame::new(i as u64 + 100),
+                perm: Permissions::RW,
+                shared: i % 3 == 0,
+            };
+            pt.map(&mut b, hvc_types::VirtPage::new(vpn), pte).unwrap();
+        }
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let (pte, path) = pt.walk(hvc_types::VirtPage::new(vpn)).unwrap();
+            prop_assert_eq!(pte.frame.as_u64(), i as u64 + 100);
+            prop_assert_eq!(pte.shared, i % 3 == 0);
+            prop_assert_eq!(path.len(), hvc_os::PT_LEVELS);
+        }
+        prop_assert_eq!(pt.mapped_pages(), vpns.len());
+    }
+
+    /// Segment table find() equals a brute-force scan for arbitrary
+    /// disjoint segments and probes.
+    #[test]
+    fn segment_find_matches_scan(
+        starts in prop::collection::btree_set(0u64..500, 1..40),
+        probes in prop::collection::vec(0u64..(600 * 0x2000), 1..60),
+    ) {
+        let mut t = SegmentTable::new(2048);
+        let mut segs = Vec::new();
+        for &s in &starts {
+            let base = s * 0x2000;
+            let id = t.insert(Asid::new(1), VirtAddr::new(base), 0x1000, PhysAddr::new(base)).unwrap();
+            segs.push((id, base));
+        }
+        for &p in &probes {
+            let va = VirtAddr::new(p);
+            let scan = segs
+                .iter()
+                .find(|&&(_, base)| p >= base && p < base + 0x1000)
+                .map(|&(id, _)| id);
+            prop_assert_eq!(t.find(Asid::new(1), va).map(|s| s.id), scan);
+        }
+    }
+
+    /// mmap / munmap round-trips leave no leaked frames and no stale
+    /// mappings, under both policies.
+    #[test]
+    fn mmap_munmap_conserves_memory(
+        lens in prop::collection::vec(1u64..64, 1..10),
+        policy_pick in 0u8..4,
+        touches in prop::collection::vec(0u64..64, 0..20),
+    ) {
+        let policy = match policy_pick {
+            0 => AllocPolicy::DemandPaging,
+            1 => AllocPolicy::EagerSegments { split: 1 },
+            2 => AllocPolicy::EagerSegments { split: 3 },
+            _ => AllocPolicy::ReservedSegments { sub_pages: 4 },
+        };
+        let mut k = Kernel::new(1 << 30, policy);
+        let a = k.create_process().unwrap();
+        let before = k.free_frames();
+        let mut vas = Vec::new();
+        let mut next = 0x1000_0000u64;
+        for &pages in &lens {
+            let va = VirtAddr::new(next);
+            k.mmap(a, va, pages * PAGE_SIZE, Permissions::RW, MapIntent::Private).unwrap();
+            k.translate_touch(a, va).unwrap();
+            for &t in &touches {
+                let _ = k.translate_touch(a, VirtAddr::new(va.as_u64() + (t % pages) * PAGE_SIZE));
+            }
+            vas.push(va);
+            next += pages * PAGE_SIZE + (4 << 20); // scattered
+        }
+        for va in vas {
+            k.munmap(a, va).unwrap();
+            let unmapped = matches!(k.translate_touch(a, va), Err(HvcError::Unmapped { .. }));
+            prop_assert!(unmapped);
+        }
+        prop_assert_eq!(k.free_frames(), before);
+        prop_assert_eq!(k.segments().count_asid(a), 0);
+    }
+
+    /// Under the reservation policy, segment translation always agrees
+    /// with the page table for every touched page.
+    #[test]
+    fn reserved_commits_agree_with_page_table(
+        touches in prop::collection::vec(0u64..64, 1..40),
+        sub_pages in prop::sample::select(vec![2u64, 4, 8, 16]),
+    ) {
+        let mut k = Kernel::new(1 << 30, AllocPolicy::ReservedSegments { sub_pages });
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x100000), 64 * PAGE_SIZE, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        for &page in &touches {
+            let va = VirtAddr::new(0x100000 + page * PAGE_SIZE);
+            let pte = k.translate_touch(a, va).unwrap();
+            let seg = k.segments().find(a, va).expect("committed segment covers touch");
+            prop_assert_eq!(seg.translate(va).frame_number(), pte.frame);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Direct-segment baseline: one `(base, limit, offset)` register set per
+//! process, falling back to paging outside the segment.
+
+use hvc_os::Segment;
+use hvc_types::{Asid, PhysAddr, VirtAddr};
+
+/// A single direct segment per address space (Basu et al., the design RMM
+/// and the paper's many-segment translation generalize).
+#[derive(Clone, Debug, Default)]
+pub struct DirectSegment {
+    seg: Option<Segment>,
+    /// Translations served by the segment.
+    pub segment_hits: u64,
+    /// Translations that fell back to paging.
+    pub paging_fallbacks: u64,
+}
+
+impl DirectSegment {
+    /// Creates an empty direct-segment register set.
+    pub fn new() -> Self {
+        DirectSegment::default()
+    }
+
+    /// Loads the segment registers (context switch / OS setup).
+    pub fn load(&mut self, seg: Segment) {
+        self.seg = Some(seg);
+    }
+
+    /// Clears the registers.
+    pub fn clear(&mut self) {
+        self.seg = None;
+    }
+
+    /// Translates `va` through the segment; `None` means the access must
+    /// take the conventional paging path.
+    pub fn translate(&mut self, asid: Asid, va: VirtAddr) -> Option<PhysAddr> {
+        match &self.seg {
+            Some(s) if s.contains(asid, va) => {
+                self.segment_hits += 1;
+                Some(s.translate(va))
+            }
+            _ => {
+                self.paging_fallbacks += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvc_os::SegmentId;
+
+    fn seg() -> Segment {
+        Segment {
+            id: SegmentId(0),
+            asid: Asid::new(1),
+            base: VirtAddr::new(0x10_0000),
+            len: 0x10_0000,
+            phys_base: PhysAddr::new(0x800_0000),
+        }
+    }
+
+    #[test]
+    fn inside_segment_translates() {
+        let mut d = DirectSegment::new();
+        d.load(seg());
+        assert_eq!(
+            d.translate(Asid::new(1), VirtAddr::new(0x10_0040)),
+            Some(PhysAddr::new(0x800_0040))
+        );
+        assert_eq!(d.segment_hits, 1);
+    }
+
+    #[test]
+    fn outside_falls_back_to_paging() {
+        let mut d = DirectSegment::new();
+        d.load(seg());
+        assert_eq!(d.translate(Asid::new(1), VirtAddr::new(0x40_0000)), None);
+        assert_eq!(d.translate(Asid::new(2), VirtAddr::new(0x10_0040)), None);
+        assert_eq!(d.paging_fallbacks, 2);
+    }
+
+    #[test]
+    fn empty_registers_always_fall_back() {
+        let mut d = DirectSegment::new();
+        assert_eq!(d.translate(Asid::new(1), VirtAddr::new(0)), None);
+        d.load(seg());
+        d.clear();
+        assert_eq!(d.translate(Asid::new(1), VirtAddr::new(0x10_0040)), None);
+    }
+}

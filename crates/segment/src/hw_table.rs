@@ -1,0 +1,117 @@
+//! The hardware segment table mirroring the OS's in-memory table.
+
+use hvc_os::{Segment, SegmentId, SegmentTable};
+use hvc_types::{Cycles, VirtAddr};
+
+/// The on-chip segment table: a 2048-entry SRAM array indexed by segment
+/// id, mirroring the OS table 1:1 ("segment misses occur only for cold
+/// misses, as the size of HW table is equal to the in-memory segment
+/// table size"). CACTI puts its access at seven cycles.
+#[derive(Clone, Debug)]
+pub struct HwSegmentTable {
+    entries: Vec<Option<Segment>>,
+    latency: Cycles,
+    /// OS fills triggered by cold misses.
+    pub fills: u64,
+}
+
+impl HwSegmentTable {
+    /// Creates an empty hardware table of `capacity` entries.
+    pub fn new(capacity: usize, latency: Cycles) -> Self {
+        HwSegmentTable { entries: vec![None; capacity], latency, fills: 0 }
+    }
+
+    /// The paper's configuration: 2048 entries, 7 cycles.
+    pub fn isca2016() -> Self {
+        HwSegmentTable::new(2048, Cycles::new(7))
+    }
+
+    /// Creates a hardware table pre-populated from the OS table.
+    pub fn mirror(table: &SegmentTable, latency: Cycles) -> Self {
+        let mut hw = HwSegmentTable::new(table.capacity(), latency);
+        hw.sync(table);
+        hw
+    }
+
+    /// Access latency.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// Re-mirrors the OS table (shootdown-style bulk update).
+    pub fn sync(&mut self, table: &SegmentTable) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+        for seg in table.iter() {
+            self.entries[seg.id.0 as usize] = Some(*seg);
+        }
+    }
+
+    /// Looks up segment `id`; a `None` is a cold miss the OS must fill
+    /// (counted, then the caller may [`HwSegmentTable::fill`]).
+    pub fn get(&self, id: SegmentId) -> Option<&Segment> {
+        self.entries.get(id.0 as usize)?.as_ref()
+    }
+
+    /// Fills one entry from the OS (cold-miss service).
+    pub fn fill(&mut self, seg: Segment) {
+        self.fills += 1;
+        self.entries[seg.id.0 as usize] = Some(seg);
+    }
+
+    /// Base/limit check + offset add: translates `va` if segment `id`
+    /// covers it.
+    pub fn translate(&self, id: SegmentId, asid: hvc_types::Asid, va: VirtAddr) -> Option<hvc_types::PhysAddr> {
+        let seg = self.get(id)?;
+        seg.contains(asid, va).then(|| seg.translate(va))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvc_types::{Asid, PhysAddr};
+
+    fn os_table() -> SegmentTable {
+        let mut t = SegmentTable::new(16);
+        t.insert(Asid::new(1), VirtAddr::new(0x10000), 0x4000, PhysAddr::new(0x800000))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn mirror_and_translate() {
+        let os = os_table();
+        let hw = HwSegmentTable::mirror(&os, Cycles::new(7));
+        let id = os.iter().next().unwrap().id;
+        assert_eq!(
+            hw.translate(id, Asid::new(1), VirtAddr::new(0x11000)),
+            Some(PhysAddr::new(0x801000))
+        );
+        // Out of bounds or wrong ASID: no translation.
+        assert_eq!(hw.translate(id, Asid::new(1), VirtAddr::new(0x14000)), None);
+        assert_eq!(hw.translate(id, Asid::new(2), VirtAddr::new(0x11000)), None);
+    }
+
+    #[test]
+    fn cold_miss_then_fill() {
+        let os = os_table();
+        let seg = *os.iter().next().unwrap();
+        let mut hw = HwSegmentTable::new(16, Cycles::new(7));
+        assert!(hw.get(seg.id).is_none());
+        hw.fill(seg);
+        assert_eq!(hw.fills, 1);
+        assert!(hw.get(seg.id).is_some());
+    }
+
+    #[test]
+    fn sync_replaces_contents() {
+        let mut os = os_table();
+        let mut hw = HwSegmentTable::mirror(&os, Cycles::new(7));
+        let id = os.iter().next().unwrap().id;
+        os.remove(id);
+        hw.sync(&os);
+        assert!(hw.get(id).is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Scalable delayed translation with many variable-length segments
+//! (the paper's Section IV).
+//!
+//! After an LLC miss, a non-synonym `ASID ++ VA` address is translated by:
+//!
+//! 1. the [`SegmentCache`] — a small 128-entry, 2 MB-granularity TLB-like
+//!    structure caching recent segment translations,
+//! 2. on a miss, a traversal of the in-memory B-tree [`IndexTree`]
+//!    (sorted by `ASID ++ VA`) through the physically-addressed
+//!    [`IndexCache`] (8-way, 64 B blocks), yielding a segment id,
+//! 3. a lookup of the 2048-entry hardware [`HwSegmentTable`] and a
+//!    base/limit check + offset add.
+//!
+//! [`ManySegmentTranslator`] composes the three. [`Rmm`] provides the
+//! 32-segment, core-side Redundant-Memory-Mapping baseline the paper
+//! compares against in Table III, and [`DirectSegment`] the single-segment
+//! design.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_os::{AllocPolicy, Kernel, MapIntent};
+//! use hvc_segment::ManySegmentTranslator;
+//! use hvc_types::{Cycles, Permissions, VirtAddr};
+//!
+//! # fn main() -> Result<(), hvc_types::HvcError> {
+//! let mut kernel = Kernel::new(1 << 30, AllocPolicy::EagerSegments { split: 1 });
+//! let asid = kernel.create_process()?;
+//! kernel.mmap(asid, VirtAddr::new(0x100000), 1 << 20, Permissions::RW, MapIntent::Private)?;
+//!
+//! let mut tr = ManySegmentTranslator::isca2016(kernel.segments());
+//! let (pa, _lat) = tr
+//!     .translate(asid, VirtAddr::new(0x100040), |_addr| Cycles::new(160))
+//!     .expect("covered by a segment");
+//! let pte = kernel.walk(asid, VirtAddr::new(0x100040).page_number()).unwrap().0;
+//! assert_eq!(pa.frame_number(), pte.frame);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod direct;
+mod hw_table;
+mod index_cache;
+mod index_tree;
+mod many;
+mod rmm;
+mod segment_cache;
+
+pub use direct::DirectSegment;
+pub use hw_table::HwSegmentTable;
+pub use index_cache::{IndexCache, IndexCacheStats};
+pub use index_tree::IndexTree;
+pub use many::{ManySegmentStats, ManySegmentTranslator};
+pub use rmm::{Rmm, RmmStats};
+pub use segment_cache::SegmentCache;

@@ -1,0 +1,46 @@
+//! TLB structures and hardware page walking.
+//!
+//! Three translation structures from the paper live here:
+//!
+//! * [`Tlb`] — a generic set-associative TLB keyed by `(ASID, virtual
+//!   page)`, used for the baseline's L1/L2 TLBs ([`TwoLevelTlb`]), the
+//!   hybrid scheme's small *synonym TLB* (64-entry, accessed only for
+//!   synonym-filter candidates), and the large post-LLC *delayed TLB*,
+//! * [`PageWalker`] — the hardware radix walker, with paging-structure
+//!   caches ([`WalkCache`]) that skip upper levels; the walker charges
+//!   every page-table entry read through a caller-provided memory
+//!   callback, so walks interact with the cache hierarchy faithfully,
+//! * configuration presets matching the paper's Table IV (64-entry 4-way
+//!   1-cycle L1, 1024-entry 8-way 7-cycle L2).
+//!
+//! TLB entries store the full [`hvc_os::Pte`], whose `shared` bit doubles
+//! as the synonym-filter *false-positive corrector*: a candidate that hits
+//! a TLB entry with `shared == false` is recognized as a false positive
+//! and served virtually.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_tlb::{Tlb, TlbConfig};
+//! use hvc_os::Pte;
+//! use hvc_types::{Asid, Permissions, PhysFrame, VirtPage};
+//!
+//! let mut tlb = Tlb::new(TlbConfig::l1_64());
+//! let pte = Pte { frame: PhysFrame::new(7), perm: Permissions::RW, shared: false };
+//! tlb.insert(Asid::new(1), VirtPage::new(0x10), pte);
+//! assert_eq!(tlb.lookup(Asid::new(1), VirtPage::new(0x10)), Some(pte));
+//! assert_eq!(tlb.lookup(Asid::new(2), VirtPage::new(0x10)), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tlb;
+mod two_level;
+mod walkcache;
+mod walker;
+
+pub use tlb::{Tlb, TlbConfig, TlbStats};
+pub use two_level::{TlbHit, TwoLevelTlb};
+pub use walkcache::WalkCache;
+pub use walker::{PageWalker, WalkerStats};

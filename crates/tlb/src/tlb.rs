@@ -1,0 +1,298 @@
+//! A generic set-associative TLB.
+
+use hvc_os::Pte;
+use hvc_types::{Asid, Cycles, VirtPage};
+
+/// Geometry and latency of a TLB.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Lookup latency.
+    pub latency: Cycles,
+}
+
+impl TlbConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible into a power-of-two number of
+    /// sets of `ways` entries.
+    pub fn new(entries: usize, ways: usize, latency: Cycles) -> Self {
+        assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide into ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        TlbConfig { entries, ways, latency }
+    }
+
+    /// The paper's baseline L1 TLB: 64 entries, 4-way, 1 cycle.
+    pub fn l1_64() -> Self {
+        TlbConfig::new(64, 4, Cycles::new(1))
+    }
+
+    /// The paper's baseline L2 TLB: 1024 entries, 8-way, 7 cycles.
+    pub fn l2_1024() -> Self {
+        TlbConfig::new(1024, 8, Cycles::new(7))
+    }
+
+    /// The hybrid scheme's synonym TLB: 64 entries, 4-way, single level.
+    pub fn synonym_64() -> Self {
+        TlbConfig::new(64, 4, Cycles::new(1))
+    }
+
+    /// A delayed TLB of the given size (8-way, 7 cycles; sizes of 1K-32K
+    /// are swept in Figure 4 / Figure 9).
+    pub fn delayed(entries: usize) -> Self {
+        TlbConfig::new(entries, 8, Cycles::new(7))
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+}
+
+/// Hit/miss counters for a TLB.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio; `None` with no lookups.
+    pub fn miss_rate(&self) -> Option<f64> {
+        let n = self.accesses();
+        (n > 0).then(|| self.misses as f64 / n as f64)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    asid: Asid,
+    vpn: u64,
+    pte: Pte,
+    lru: u64,
+}
+
+/// A set-associative TLB keyed by `(ASID, virtual page number)` with LRU
+/// replacement.
+///
+/// ASID tagging means context switches need no flush (homonyms cannot
+/// hit), matching the paper's ASID-based design.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<Entry>>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        let sets = config.sets();
+        Tlb {
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            config,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Returns hit/miss counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets counters (contents kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn set_index(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up a translation, updating LRU and counters.
+    pub fn lookup(&mut self, asid: Asid, vpage: VirtPage) -> Option<Pte> {
+        self.tick += 1;
+        let tick = self.tick;
+        let vpn = vpage.as_u64();
+        let idx = self.set_index(vpn);
+        let found = self.sets[idx]
+            .iter_mut()
+            .find(|e| e.asid == asid && e.vpn == vpn);
+        match found {
+            Some(e) => {
+                e.lru = tick;
+                self.stats.hits += 1;
+                Some(e.pte)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probes without updating LRU or counters.
+    pub fn contains(&self, asid: Asid, vpage: VirtPage) -> bool {
+        let vpn = vpage.as_u64();
+        self.sets[self.set_index(vpn)]
+            .iter()
+            .any(|e| e.asid == asid && e.vpn == vpn)
+    }
+
+    /// Inserts (or refreshes) a translation after a miss/page walk.
+    pub fn insert(&mut self, asid: Asid, vpage: VirtPage, pte: Pte) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.config.ways;
+        let vpn = vpage.as_u64();
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.asid == asid && e.vpn == vpn) {
+            e.pte = pte;
+            e.lru = tick;
+            return;
+        }
+        if set.len() == ways {
+            let (slot, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("non-empty set");
+            set.swap_remove(slot);
+        }
+        set.push(Entry { asid, vpn, pte, lru: tick });
+    }
+
+    /// Invalidates one page's entry (TLB shootdown).
+    pub fn flush_page(&mut self, asid: Asid, vpage: VirtPage) {
+        let vpn = vpage.as_u64();
+        let idx = self.set_index(vpn);
+        self.sets[idx].retain(|e| !(e.asid == asid && e.vpn == vpn));
+    }
+
+    /// Invalidates every entry of an address space.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for set in &mut self.sets {
+            set.retain(|e| e.asid != asid);
+        }
+    }
+
+    /// Invalidates everything.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvc_types::{Permissions, PhysFrame};
+
+    fn pte(frame: u64) -> Pte {
+        Pte { frame: PhysFrame::new(frame), perm: Permissions::RW, shared: false }
+    }
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig::new(4, 2, Cycles::new(1)))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tiny();
+        let a = Asid::new(1);
+        assert_eq!(t.lookup(a, VirtPage::new(5)), None);
+        t.insert(a, VirtPage::new(5), pte(9));
+        assert_eq!(t.lookup(a, VirtPage::new(5)), Some(pte(9)));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+        assert!((t.stats().miss_rate().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asid_tagged_entries_do_not_cross() {
+        let mut t = tiny();
+        t.insert(Asid::new(1), VirtPage::new(5), pte(9));
+        assert_eq!(t.lookup(Asid::new(2), VirtPage::new(5)), None);
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut t = tiny();
+        let a = Asid::new(1);
+        // 2 sets: pages 0, 2, 4 map to set 0.
+        t.insert(a, VirtPage::new(0), pte(0));
+        t.insert(a, VirtPage::new(2), pte(2));
+        t.lookup(a, VirtPage::new(0));
+        t.insert(a, VirtPage::new(4), pte(4));
+        assert!(t.contains(a, VirtPage::new(0)));
+        assert!(!t.contains(a, VirtPage::new(2)));
+    }
+
+    #[test]
+    fn insert_refreshes_existing_entry() {
+        let mut t = tiny();
+        let a = Asid::new(1);
+        t.insert(a, VirtPage::new(0), pte(1));
+        t.insert(a, VirtPage::new(0), pte(2));
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.lookup(a, VirtPage::new(0)), Some(pte(2)));
+    }
+
+    #[test]
+    fn flushes() {
+        let mut t = tiny();
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        t.insert(a, VirtPage::new(0), pte(1));
+        t.insert(a, VirtPage::new(1), pte(2));
+        t.insert(b, VirtPage::new(1), pte(3));
+        t.flush_page(a, VirtPage::new(0));
+        assert!(!t.contains(a, VirtPage::new(0)));
+        assert!(t.contains(a, VirtPage::new(1)));
+        t.flush_asid(a);
+        assert!(!t.contains(a, VirtPage::new(1)));
+        assert!(t.contains(b, VirtPage::new(1)));
+        t.flush_all();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn presets_match_table_iv() {
+        assert_eq!(TlbConfig::l1_64().sets(), 16);
+        assert_eq!(TlbConfig::l2_1024().sets(), 128);
+        assert_eq!(TlbConfig::delayed(32 * 1024).entries, 32768);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = TlbConfig::new(24, 4, Cycles::new(1));
+    }
+}

@@ -1,0 +1,138 @@
+//! Paging-structure (walk) caches.
+//!
+//! Real walkers (and the paper's Haswell-like baseline) cache upper-level
+//! page-table entries so most walks touch only the leaf level. We model
+//! one fully-associative cache per skippable level, keyed by `(ASID,
+//! region)`.
+
+use hvc_types::{Asid, VirtPage};
+
+/// Entries per skip level (PML4-skip, PDPT-skip, PD-skip).
+const WAYS: usize = 32;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    asid: Asid,
+    region: u64,
+    lru: u64,
+}
+
+/// A paging-structure cache: for a virtual page, reports how many
+/// upper levels of the radix walk can be skipped (0–3).
+#[derive(Clone, Debug, Default)]
+pub struct WalkCache {
+    /// `caches[k]` caches the node reached after `k + 1` levels; a hit
+    /// means the walk skips those `k + 1` top accesses.
+    caches: [Vec<Entry>; 3],
+    tick: u64,
+}
+
+impl WalkCache {
+    /// Creates an empty walk cache.
+    pub fn new() -> Self {
+        WalkCache::default()
+    }
+
+    /// Returns the number of upper-level accesses (0–3) the walk of
+    /// `vpage` may skip, preferring the deepest cached node.
+    pub fn skip_levels(&mut self, asid: Asid, vpage: VirtPage) -> usize {
+        self.tick += 1;
+        let tick = self.tick;
+        for k in (0..3).rev() {
+            let region = Self::region(vpage, k);
+            if let Some(e) = self.caches[k]
+                .iter_mut()
+                .find(|e| e.asid == asid && e.region == region)
+            {
+                e.lru = tick;
+                return k + 1;
+            }
+        }
+        0
+    }
+
+    /// Records the nodes visited by a completed walk of `vpage`.
+    pub fn fill(&mut self, asid: Asid, vpage: VirtPage) {
+        self.tick += 1;
+        let tick = self.tick;
+        for k in 0..3 {
+            let region = Self::region(vpage, k);
+            let cache = &mut self.caches[k];
+            if let Some(e) = cache.iter_mut().find(|e| e.asid == asid && e.region == region) {
+                e.lru = tick;
+                continue;
+            }
+            if cache.len() == WAYS {
+                let (slot, _) = cache
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .expect("non-empty");
+                cache.swap_remove(slot);
+            }
+            cache.push(Entry { asid, region, lru: tick });
+        }
+    }
+
+    /// Invalidates everything for `asid` (shootdowns that change upper
+    /// levels are rare; we flush conservatively).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for c in &mut self.caches {
+            c.retain(|e| e.asid != asid);
+        }
+    }
+
+    /// Region key after skipping `k + 1` levels: drop 9 bits per
+    /// remaining level.
+    fn region(vpage: VirtPage, k: usize) -> u64 {
+        vpage.as_u64() >> (9 * (3 - k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_cache_skips_nothing() {
+        let mut wc = WalkCache::new();
+        assert_eq!(wc.skip_levels(Asid::new(1), VirtPage::new(0)), 0);
+    }
+
+    #[test]
+    fn fill_enables_deep_skip_for_neighbours() {
+        let mut wc = WalkCache::new();
+        let a = Asid::new(1);
+        wc.fill(a, VirtPage::new(0x1000));
+        // Same 2 MB region (same PD entry): skip all three upper levels.
+        assert_eq!(wc.skip_levels(a, VirtPage::new(0x1001)), 3);
+        // Same 1 GB region only: skip two.
+        assert_eq!(wc.skip_levels(a, VirtPage::new(0x1000 + (1 << 9))), 2);
+        // Same 512 GB region only: skip one.
+        assert_eq!(wc.skip_levels(a, VirtPage::new(0x1000 + (1 << 18))), 1);
+        // Different top-level region: no skip.
+        assert_eq!(wc.skip_levels(a, VirtPage::new(0x1000 + (1 << 27))), 0);
+    }
+
+    #[test]
+    fn asid_isolation_and_flush() {
+        let mut wc = WalkCache::new();
+        wc.fill(Asid::new(1), VirtPage::new(7));
+        assert_eq!(wc.skip_levels(Asid::new(2), VirtPage::new(7)), 0);
+        wc.flush_asid(Asid::new(1));
+        assert_eq!(wc.skip_levels(Asid::new(1), VirtPage::new(7)), 0);
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_lru() {
+        let mut wc = WalkCache::new();
+        let a = Asid::new(1);
+        for i in 0..(WAYS as u64 + 4) {
+            wc.fill(a, VirtPage::new(i << 9)); // distinct 2 MB regions
+        }
+        // The oldest region was evicted from the deepest cache.
+        assert!(wc.skip_levels(a, VirtPage::new(0)) < 3);
+        // The newest is still cached.
+        assert_eq!(wc.skip_levels(a, VirtPage::new((WAYS as u64 + 3) << 9)), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for TLBs and the hardware page walker.
+
+use hvc_os::{AllocPolicy, Kernel, MapIntent, Pte};
+use hvc_tlb::{PageWalker, Tlb, TlbConfig, TwoLevelTlb};
+use hvc_types::{Asid, Cycles, Permissions, PhysFrame, VirtAddr, VirtPage, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn pte(frame: u64) -> Pte {
+    Pte { frame: PhysFrame::new(frame), perm: Permissions::RW, shared: false }
+}
+
+proptest! {
+    /// A TLB behaves like a bounded map: after inserting (k, v), looking
+    /// k up either returns exactly v or misses (evicted) — never a stale
+    /// or foreign value.
+    #[test]
+    fn tlb_returns_exact_values_or_misses(
+        inserts in prop::collection::vec((1u16..4, 0u64..512), 1..300),
+    ) {
+        let mut t = Tlb::new(TlbConfig::new(64, 4, Cycles::new(1)));
+        let mut model = std::collections::HashMap::new();
+        for (i, &(asid, vpn)) in inserts.iter().enumerate() {
+            t.insert(Asid::new(asid), VirtPage::new(vpn), pte(i as u64));
+            model.insert((asid, vpn), i as u64);
+            prop_assert!(t.occupancy() <= 64);
+        }
+        for (&(asid, vpn), &frame) in &model {
+            if let Some(got) = t.lookup(Asid::new(asid), VirtPage::new(vpn)) {
+                prop_assert_eq!(got.frame.as_u64(), frame, "stale entry");
+            }
+        }
+    }
+
+    /// Two-level TLB: an entry inserted is found until both levels have
+    /// evicted it; L2 hits promote without changing the translation.
+    #[test]
+    fn two_level_promotion_preserves_translation(
+        pages in prop::collection::btree_set(0u64..2048, 2..100),
+    ) {
+        let mut t = TwoLevelTlb::isca2016_baseline();
+        for (i, &p) in pages.iter().enumerate() {
+            t.insert(Asid::new(1), VirtPage::new(p), pte(i as u64 + 7));
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            let (got, _, _) = t.lookup(Asid::new(1), VirtPage::new(p));
+            if let Some(g) = got {
+                prop_assert_eq!(g.frame.as_u64(), i as u64 + 7);
+                // Second lookup must also agree (promotion intact).
+                let (again, _, _) = t.lookup(Asid::new(1), VirtPage::new(p));
+                prop_assert_eq!(again.unwrap().frame.as_u64(), i as u64 + 7);
+            }
+        }
+    }
+
+    /// The walker returns the same PTE as the kernel's own walk, for any
+    /// touched page, with any interleaving of walk-cache state.
+    #[test]
+    fn walker_agrees_with_kernel(pages in prop::collection::btree_set(0u64..256, 1..40)) {
+        let mut k = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+        let a = k.create_process().unwrap();
+        k.mmap(a, VirtAddr::new(0x100000), 256 * PAGE_SIZE, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        for &p in &pages {
+            k.translate_touch(a, VirtAddr::new(0x100000 + p * PAGE_SIZE)).unwrap();
+        }
+        let mut w = PageWalker::new();
+        for &p in &pages {
+            let vp = VirtAddr::new(0x100000 + p * PAGE_SIZE).page_number();
+            let (got, lat) = w.walk(&k, a, vp, |_| Cycles::new(5)).unwrap();
+            let expected = k.walk(a, vp).unwrap().0;
+            prop_assert_eq!(got, expected);
+            // A walk reads between 1 and 4 levels.
+            prop_assert!(lat.get() >= 5 && lat.get() <= 20);
+        }
+    }
+
+    /// ASID flushes never disturb other address spaces.
+    #[test]
+    fn asid_flush_is_isolated(
+        a_pages in prop::collection::btree_set(0u64..256, 1..30),
+        b_pages in prop::collection::btree_set(0u64..256, 1..30),
+    ) {
+        let mut t = Tlb::new(TlbConfig::new(1024, 8, Cycles::new(1)));
+        for &p in &a_pages {
+            t.insert(Asid::new(1), VirtPage::new(p), pte(p));
+        }
+        for &p in &b_pages {
+            t.insert(Asid::new(2), VirtPage::new(p), pte(p + 1000));
+        }
+        t.flush_asid(Asid::new(1));
+        for &p in &a_pages {
+            prop_assert!(!t.contains(Asid::new(1), VirtPage::new(p)));
+        }
+        for &p in &b_pages {
+            prop_assert!(t.contains(Asid::new(2), VirtPage::new(p)));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Compact binary serialization of memory-reference traces.
+//!
+//! The simulator is trace-driven; this crate defines the `HVCT` on-disk
+//! format so traces can be captured once (from the synthetic generators,
+//! or converted from external tools like Pin) and replayed exactly:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "HVCT"
+//! 4       4     version (little-endian u32, currently 1)
+//! 8       8     item count (little-endian u64)
+//! 16      16×N  items: gap u32 | asid u16 | kind u8 | reserved u8 | vaddr u64
+//! ```
+//!
+//! All integers are little-endian. `kind` encodes 0 = read, 1 = write,
+//! 2 = fetch. The reserved byte must be zero.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_trace::{read_trace, write_trace};
+//! use hvc_types::{Asid, MemRef, TraceItem, VirtAddr};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let items = vec![
+//!     TraceItem::new(3, MemRef::read(Asid::new(1), VirtAddr::new(0x1000))),
+//!     TraceItem::new(0, MemRef::write(Asid::new(1), VirtAddr::new(0x1040))),
+//! ];
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, items.iter().copied())?;
+//! let back: Vec<_> = read_trace(&buf[..])?.collect::<Result<_, _>>()?;
+//! assert_eq!(back, items);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hvc_types::{AccessKind, Asid, MemRef, TraceItem, VirtAddr};
+use std::io::{self, Read, Write};
+
+/// File magic.
+const MAGIC: [u8; 4] = *b"HVCT";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Bytes per serialized item.
+const ITEM_BYTES: usize = 16;
+
+/// Writes `items` to `writer` in the `HVCT` format. A `&mut` reference to
+/// any writer can be passed.
+///
+/// The header carries the item count, so the items are buffered once to
+/// count them (O(n) memory; for very large captures write in multiple
+/// files or chunks).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W, I>(mut writer: W, items: I) -> io::Result<u64>
+where
+    W: Write,
+    I: IntoIterator<Item = TraceItem>,
+{
+    let items: Vec<TraceItem> = items.into_iter().collect();
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(items.len() as u64).to_le_bytes())?;
+    let mut buf = [0u8; ITEM_BYTES];
+    for item in &items {
+        encode_item(item, &mut buf);
+        writer.write_all(&buf)?;
+    }
+    writer.flush()?;
+    Ok(items.len() as u64)
+}
+
+/// Opens a trace for reading; returns an iterator over items. A `&mut`
+/// reference to any reader can be passed.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a bad magic, version, or
+/// malformed item, and propagates underlying I/O errors.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<TraceReader<R>> {
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an HVCT trace (bad magic)"));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported HVCT version {version}"),
+        ));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    Ok(TraceReader { reader, remaining: count })
+}
+
+/// Iterator over the items of a serialized trace.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    remaining: u64,
+}
+
+impl<R> TraceReader<R> {
+    /// Items left to read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceItem>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut buf = [0u8; ITEM_BYTES];
+        if let Err(e) = self.reader.read_exact(&mut buf) {
+            self.remaining = 0;
+            return Some(Err(e));
+        }
+        Some(decode_item(&buf))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+fn encode_item(item: &TraceItem, buf: &mut [u8; ITEM_BYTES]) {
+    buf[0..4].copy_from_slice(&item.gap.to_le_bytes());
+    buf[4..6].copy_from_slice(&item.mref.asid.as_u16().to_le_bytes());
+    buf[6] = match item.mref.kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Fetch => 2,
+    };
+    buf[7] = 0;
+    buf[8..16].copy_from_slice(&item.mref.vaddr.as_u64().to_le_bytes());
+}
+
+fn decode_item(buf: &[u8; ITEM_BYTES]) -> io::Result<TraceItem> {
+    let gap = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let asid = Asid::new(u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")));
+    let kind = match buf[6] {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        2 => AccessKind::Fetch,
+        k => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad access kind {k}"),
+            ))
+        }
+    };
+    if buf[7] != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "non-zero reserved byte"));
+    }
+    let vaddr = VirtAddr::new(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")));
+    Ok(TraceItem::new(gap, MemRef { asid, vaddr, kind }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(gap: u32, asid: u16, va: u64, kind: AccessKind) -> TraceItem {
+        TraceItem::new(gap, MemRef { asid: Asid::new(asid), vaddr: VirtAddr::new(va), kind })
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let items = vec![
+            item(0, 1, 0, AccessKind::Read),
+            item(u32::MAX, u16::MAX, (1 << 48) - 1, AccessKind::Write),
+            item(7, 42, 0xdead_beef, AccessKind::Fetch),
+        ];
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, items.iter().copied()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(buf.len(), 16 + 3 * ITEM_BYTES);
+        let back: Vec<TraceItem> =
+            read_trace(&buf[..]).unwrap().collect::<io::Result<_>>().unwrap();
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        let mut r = read_trace(&buf[..]).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        buf[4] = 99;
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_items_surface_as_errors() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [item(1, 1, 0x40, AccessKind::Read)]).unwrap();
+        buf.truncate(buf.len() - 4);
+        let mut r = read_trace(&buf[..]).unwrap();
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none(), "iterator fuses after an error");
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [item(1, 1, 0x40, AccessKind::Read)]).unwrap();
+        buf[16 + 6] = 9;
+        let mut r = read_trace(&buf[..]).unwrap();
+        assert!(r.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, (0..10).map(|i| item(i, 1, u64::from(i) * 64, AccessKind::Read)))
+            .unwrap();
+        let r = read_trace(&buf[..]).unwrap();
+        assert_eq!(r.size_hint(), (10, Some(10)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Property tests: trace serialization round-trips exactly.
+
+use hvc_trace::{read_trace, write_trace};
+use hvc_types::{AccessKind, Asid, MemRef, TraceItem, VirtAddr};
+use proptest::prelude::*;
+
+fn item_strategy() -> impl Strategy<Value = TraceItem> {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        0u64..(1 << 48),
+        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write), Just(AccessKind::Fetch)],
+    )
+        .prop_map(|(gap, asid, va, kind)| {
+            TraceItem::new(gap, MemRef { asid: Asid::new(asid), vaddr: VirtAddr::new(va), kind })
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(items in prop::collection::vec(item_strategy(), 0..500)) {
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, items.iter().copied()).unwrap();
+        prop_assert_eq!(n as usize, items.len());
+        let back: Vec<TraceItem> = read_trace(&buf[..])
+            .unwrap()
+            .collect::<std::io::Result<_>>()
+            .unwrap();
+        prop_assert_eq!(back, items);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Reading garbage must error gracefully, never panic.
+        if let Ok(reader) = read_trace(&bytes[..]) {
+            for item in reader.take(1000) {
+                let _ = item;
+            }
+        }
+    }
+}

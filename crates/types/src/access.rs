@@ -1,0 +1,252 @@
+//! Memory-reference trace records.
+//!
+//! The simulator is trace-driven: workload generators in `hvc-workloads`
+//! produce streams of [`TraceItem`]s that the core model in `hvc-core`
+//! consumes. Each item carries a memory reference plus the number of
+//! non-memory instructions that retire before it, which is all the timing
+//! model needs to approximate an out-of-order core.
+
+use crate::{Asid, VirtAddr};
+use core::fmt;
+
+/// The kind of a memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch.
+    Fetch,
+}
+
+impl AccessKind {
+    /// Returns `true` for stores.
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// Returns `true` for instruction fetches.
+    #[inline]
+    pub const fn is_fetch(self) -> bool {
+        matches!(self, AccessKind::Fetch)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+            AccessKind::Fetch => write!(f, "F"),
+        }
+    }
+}
+
+/// A single memory reference issued by some address space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemRef {
+    /// Issuing address space.
+    pub asid: Asid,
+    /// Virtual address accessed.
+    pub vaddr: VirtAddr,
+    /// Load / store / fetch.
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// Creates a data-load reference.
+    #[inline]
+    pub fn read(asid: Asid, vaddr: VirtAddr) -> Self {
+        MemRef { asid, vaddr, kind: AccessKind::Read }
+    }
+
+    /// Creates a data-store reference.
+    #[inline]
+    pub fn write(asid: Asid, vaddr: VirtAddr) -> Self {
+        MemRef { asid, vaddr, kind: AccessKind::Write }
+    }
+
+    /// Creates an instruction-fetch reference.
+    #[inline]
+    pub fn fetch(asid: Asid, vaddr: VirtAddr) -> Self {
+        MemRef { asid, vaddr, kind: AccessKind::Fetch }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {} {}]", self.asid, self.kind, self.vaddr)
+    }
+}
+
+/// One unit of trace: a memory reference preceded by `gap` non-memory
+/// instructions.
+///
+/// The instruction count of a trace is `sum(gap + 1)` over its items (each
+/// memory reference is itself one instruction).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceItem {
+    /// Non-memory instructions retiring before this reference.
+    pub gap: u32,
+    /// The memory reference.
+    pub mref: MemRef,
+}
+
+impl TraceItem {
+    /// Creates a trace item.
+    #[inline]
+    pub fn new(gap: u32, mref: MemRef) -> Self {
+        TraceItem { gap, mref }
+    }
+
+    /// Instructions represented by this item (the gap plus the reference
+    /// itself).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap) + 1
+    }
+}
+
+/// An owned instruction/memory trace plus bookkeeping helpers.
+///
+/// # Examples
+///
+/// ```
+/// use hvc_types::{Asid, MemRef, Trace, TraceItem, VirtAddr};
+///
+/// let mut t = Trace::new();
+/// t.push(TraceItem::new(3, MemRef::read(Asid::new(1), VirtAddr::new(0x1000))));
+/// t.push(TraceItem::new(0, MemRef::write(Asid::new(1), VirtAddr::new(0x1040))));
+/// assert_eq!(t.instructions(), 5);
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Trace {
+    items: Vec<TraceItem>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[inline]
+    pub fn new() -> Self {
+        Trace { items: Vec::new() }
+    }
+
+    /// Creates an empty trace with reserved capacity.
+    #[inline]
+    pub fn with_capacity(n: usize) -> Self {
+        Trace { items: Vec::with_capacity(n) }
+    }
+
+    /// Appends an item.
+    #[inline]
+    pub fn push(&mut self, item: TraceItem) {
+        self.items.push(item);
+    }
+
+    /// Number of memory references.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the trace has no references.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total instructions represented (gaps + references).
+    pub fn instructions(&self) -> u64 {
+        self.items.iter().map(TraceItem::instructions).sum()
+    }
+
+    /// Iterates over the items.
+    pub fn iter(&self) -> core::slice::Iter<'_, TraceItem> {
+        self.items.iter()
+    }
+
+    /// Borrows the underlying items.
+    #[inline]
+    pub fn as_slice(&self) -> &[TraceItem] {
+        &self.items
+    }
+}
+
+impl FromIterator<TraceItem> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceItem>>(iter: I) -> Self {
+        Trace { items: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TraceItem> for Trace {
+    fn extend<I: IntoIterator<Item = TraceItem>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceItem;
+    type IntoIter = core::slice::Iter<'a, TraceItem>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceItem;
+    type IntoIter = std::vec::IntoIter<TraceItem>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(va: u64) -> MemRef {
+        MemRef::read(Asid::new(1), VirtAddr::new(va))
+    }
+
+    #[test]
+    fn trace_instruction_accounting() {
+        let t: Trace = [TraceItem::new(9, r(0)), TraceItem::new(0, r(64))]
+            .into_iter()
+            .collect();
+        assert_eq!(t.instructions(), 11);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = Asid::new(2);
+        assert_eq!(MemRef::read(a, VirtAddr::new(0)).kind, AccessKind::Read);
+        assert_eq!(MemRef::write(a, VirtAddr::new(0)).kind, AccessKind::Write);
+        assert_eq!(MemRef::fetch(a, VirtAddr::new(0)).kind, AccessKind::Fetch);
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::Fetch.is_fetch());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn trace_iteration() {
+        let mut t = Trace::with_capacity(4);
+        t.extend([TraceItem::new(1, r(0))]);
+        t.push(TraceItem::new(2, r(64)));
+        let gaps: Vec<u32> = t.iter().map(|i| i.gap).collect();
+        assert_eq!(gaps, vec![1, 2]);
+        let owned: Vec<TraceItem> = t.clone().into_iter().collect();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(t.as_slice().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = MemRef::read(Asid::new(1), VirtAddr::new(0x40));
+        assert_eq!(format!("{m}"), "[1 R 0x40]");
+    }
+}

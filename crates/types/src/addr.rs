@@ -1,0 +1,379 @@
+//! Address newtypes and page / cache-line arithmetic.
+//!
+//! Three distinct address spaces appear in the simulator, mirroring the
+//! paper's Figure 8:
+//!
+//! * [`VirtAddr`] — a (guest) virtual address produced by a process,
+//! * [`GuestPhysAddr`] — the intermediate space of a virtualized system,
+//! * [`PhysAddr`] — the real machine address that reaches DRAM.
+//!
+//! Keeping them distinct at the type level prevents the classic simulator
+//! bug of translating an address twice or indexing DRAM with a virtual
+//! address.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Number of meaningful bits of a canonical x86-64 virtual address.
+pub const VIRT_ADDR_BITS: u32 = 48;
+/// Number of meaningful bits of a physical address (AMD-style 52-bit space).
+pub const PHYS_ADDR_BITS: u32 = 52;
+/// log2 of the base page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// log2 of the cache-line size (64 B lines).
+pub const LINE_SHIFT: u32 = 6;
+/// Cache-line size in bytes.
+pub const LINE_SIZE: u64 = 1 << LINE_SHIFT;
+
+macro_rules! addr_common {
+    ($t:ident, $bits:expr, $doc_space:expr) => {
+        impl $t {
+            /// Maximum representable address in this space (inclusive).
+            pub const MAX: $t = $t((1u64 << $bits) - 1);
+
+            /// Creates a new address, masking to the meaningful bits of the
+            #[doc = concat!($doc_space, " space.")]
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw & ((1u64 << $bits) - 1))
+            }
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the byte offset within the containing 4 KiB page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Returns the byte offset within the containing 64 B cache line.
+            #[inline]
+            pub const fn line_offset(self) -> u64 {
+                self.0 & (LINE_SIZE - 1)
+            }
+
+            /// Returns the cache-line-aligned address (the line this address
+            /// falls in).
+            #[inline]
+            pub const fn line(self) -> LineAddr {
+                LineAddr(self.0 >> LINE_SHIFT)
+            }
+
+            /// Rounds the address down to a multiple of `align`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            #[inline]
+            pub fn align_down(self, align: u64) -> Self {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                Self(self.0 & !(align - 1))
+            }
+
+            /// Rounds the address up to a multiple of `align`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            #[inline]
+            pub fn align_up(self, align: u64) -> Self {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                Self::new(self.0.wrapping_add(align - 1) & !(align - 1))
+            }
+
+            /// Returns `true` if the address is a multiple of `align`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            #[inline]
+            pub fn is_aligned(self, align: u64) -> bool {
+                self.align_down(align) == self
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($t), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$t> for u64 {
+            #[inline]
+            fn from(a: $t) -> u64 {
+                a.0
+            }
+        }
+
+        impl Add<u64> for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: u64) -> $t {
+                $t::new(self.0.wrapping_add(rhs))
+            }
+        }
+
+        impl AddAssign<u64> for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: u64) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub<$t> for $t {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $t) -> u64 {
+                self.0.wrapping_sub(rhs.0)
+            }
+        }
+    };
+}
+
+/// A (guest) virtual address as issued by a process.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(u64);
+addr_common!(VirtAddr, VIRT_ADDR_BITS, "48-bit virtual");
+
+/// A physical (machine) address, as used to access DRAM.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(u64);
+addr_common!(PhysAddr, PHYS_ADDR_BITS, "52-bit physical");
+
+/// A guest-physical address: the intermediate space of a virtualized
+/// system, translated to a machine [`PhysAddr`] by the hypervisor.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GuestPhysAddr(u64);
+addr_common!(GuestPhysAddr, PHYS_ADDR_BITS, "guest-physical");
+
+impl VirtAddr {
+    /// Returns the virtual page number containing this address.
+    #[inline]
+    pub const fn page_number(self) -> VirtPage {
+        VirtPage(self.0 >> PAGE_SHIFT)
+    }
+}
+
+impl PhysAddr {
+    /// Returns the physical frame number containing this address.
+    #[inline]
+    pub const fn frame_number(self) -> PhysFrame {
+        PhysFrame(self.0 >> PAGE_SHIFT)
+    }
+}
+
+impl GuestPhysAddr {
+    /// Returns the guest frame number containing this address.
+    #[inline]
+    pub const fn frame_number(self) -> PhysFrame {
+        PhysFrame(self.0 >> PAGE_SHIFT)
+    }
+}
+
+/// A virtual page number (a [`VirtAddr`] shifted right by [`PAGE_SHIFT`]).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtPage(u64);
+
+impl VirtPage {
+    /// Creates a page number from its raw value.
+    #[inline]
+    pub const fn new(vpn: u64) -> Self {
+        Self(vpn & ((1u64 << (VIRT_ADDR_BITS - PAGE_SHIFT)) - 1))
+    }
+
+    /// Returns the raw page number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first byte address of this page.
+    #[inline]
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the page `n` pages after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Self {
+        Self::new(self.0.wrapping_add(n))
+    }
+}
+
+impl fmt::Debug for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtPage({:#x})", self.0)
+    }
+}
+
+/// A physical frame number (a [`PhysAddr`] shifted right by [`PAGE_SHIFT`]).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysFrame(u64);
+
+impl PhysFrame {
+    /// Creates a frame number from its raw value.
+    #[inline]
+    pub const fn new(pfn: u64) -> Self {
+        Self(pfn & ((1u64 << (PHYS_ADDR_BITS - PAGE_SHIFT)) - 1))
+    }
+
+    /// Returns the raw frame number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first byte address of this frame.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the frame `n` frames after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Self {
+        Self::new(self.0.wrapping_add(n))
+    }
+}
+
+impl fmt::Debug for PhysFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysFrame({:#x})", self.0)
+    }
+}
+
+/// A cache-line number in an unspecified address space.
+///
+/// `LineAddr` deliberately erases which space it came from: the cache
+/// hierarchy keys blocks by [`crate::BlockName`], which pairs a `LineAddr`
+/// with its naming space, and the DRAM model receives physical line numbers
+/// only after delayed translation.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line number from its raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of the line, as a raw
+    /// integer (space-agnostic).
+    #[inline]
+    pub const fn base_raw(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_masks_to_48_bits() {
+        let va = VirtAddr::new(u64::MAX);
+        assert_eq!(va.as_u64(), (1u64 << 48) - 1);
+        assert_eq!(va, VirtAddr::MAX);
+    }
+
+    #[test]
+    fn phys_addr_masks_to_52_bits() {
+        let pa = PhysAddr::new(u64::MAX);
+        assert_eq!(pa.as_u64(), (1u64 << 52) - 1);
+    }
+
+    #[test]
+    fn page_math_round_trips() {
+        let va = VirtAddr::new(0x1234_5678_9abc);
+        assert_eq!(va.page_number().base() + va.page_offset(), va);
+        assert_eq!(va.page_offset(), 0xabc);
+    }
+
+    #[test]
+    fn line_math() {
+        let va = VirtAddr::new(0x1040);
+        assert_eq!(va.line().as_u64(), 0x41);
+        assert_eq!(va.line_offset(), 0);
+        assert_eq!(VirtAddr::new(0x107f).line().as_u64(), 0x41);
+        assert_eq!(VirtAddr::new(0x107f).line_offset(), 0x3f);
+    }
+
+    #[test]
+    fn alignment() {
+        let va = VirtAddr::new(0x1001);
+        assert_eq!(va.align_down(0x1000).as_u64(), 0x1000);
+        assert_eq!(va.align_up(0x1000).as_u64(), 0x2000);
+        assert!(VirtAddr::new(0x2000).is_aligned(0x1000));
+        assert!(!va.is_aligned(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_rejects_non_power_of_two() {
+        let _ = VirtAddr::new(0).align_down(3);
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = VirtAddr::new(0x1000);
+        let b = a + 0x40;
+        assert_eq!(b.as_u64(), 0x1040);
+        assert_eq!(b - a, 0x40);
+        let mut c = a;
+        c += 0x80;
+        assert_eq!(c.as_u64(), 0x1080);
+    }
+
+    #[test]
+    fn frame_and_page_offsets() {
+        let f = PhysFrame::new(10);
+        assert_eq!(f.offset(5).as_u64(), 15);
+        assert_eq!(f.base().as_u64(), 10 << PAGE_SHIFT);
+        let p = VirtPage::new(7);
+        assert_eq!(p.offset(1).base().as_u64(), 8 << PAGE_SHIFT);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", VirtAddr::new(0xff)), "0xff");
+        assert_eq!(format!("{:x}", PhysAddr::new(0xff)), "ff");
+        assert_eq!(format!("{:?}", LineAddr::new(0x10)), "LineAddr(0x10)");
+    }
+}

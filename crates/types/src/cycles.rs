@@ -1,0 +1,144 @@
+//! Simulation time as processor cycles.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+/// A duration or timestamp measured in processor core cycles.
+///
+/// All latencies in the simulator are expressed in core cycles at the
+/// nominal 3.4 GHz frequency of the paper's Table IV configuration; the
+/// DRAM model converts its own timing internally.
+///
+/// # Examples
+///
+/// ```
+/// use hvc_types::Cycles;
+///
+/// let l1 = Cycles::new(4);
+/// let l2 = Cycles::new(6);
+/// assert_eq!((l1 + l2).get(), 10);
+/// assert_eq!(l1 * 3, Cycles::new(12));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction (useful for overlap accounting).
+    #[inline]
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two cycle counts.
+    #[inline]
+    #[must_use]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(n: u64) -> Cycles {
+        Cycles(n)
+    }
+}
+
+impl From<Cycles> for u64 {
+    #[inline]
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycles::new(3) + Cycles::new(4), Cycles::new(7));
+        assert_eq!(Cycles::new(7) - Cycles::new(4), Cycles::new(3));
+        assert_eq!(Cycles::new(3) * 4, Cycles::new(12));
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(5)), Cycles::ZERO);
+        assert_eq!(Cycles::new(3).max(Cycles::new(5)), Cycles::new(5));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Cycles = [1u64, 2, 3].iter().map(|&n| Cycles::new(n)).sum();
+        assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Cycles::new(5)), "5");
+        assert_eq!(format!("{:?}", Cycles::new(5)), "5cy");
+    }
+}

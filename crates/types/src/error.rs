@@ -1,0 +1,115 @@
+//! Error types for the HVC simulator.
+
+use crate::{Asid, Permissions, VirtAddr};
+use core::fmt;
+
+/// Convenience alias for results carrying [`HvcError`].
+pub type Result<T> = core::result::Result<T, HvcError>;
+
+/// Errors surfaced by the simulator's OS and translation substrates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HvcError {
+    /// A virtual address had no mapping in its address space (page fault
+    /// that the workload did not arrange to handle).
+    Unmapped {
+        /// Faulting address space.
+        asid: Asid,
+        /// Faulting address.
+        vaddr: VirtAddr,
+    },
+    /// An access violated the page permissions (e.g. write to a read-only
+    /// content-shared page).
+    PermissionFault {
+        /// Faulting address space.
+        asid: Asid,
+        /// Faulting address.
+        vaddr: VirtAddr,
+        /// Permissions held by the mapping.
+        held: Permissions,
+        /// Permissions required by the access.
+        required: Permissions,
+    },
+    /// Physical memory is exhausted.
+    OutOfMemory,
+    /// The requested virtual region overlaps an existing mapping.
+    RegionOverlap {
+        /// Address space of the conflict.
+        asid: Asid,
+        /// Start of the requested region.
+        vaddr: VirtAddr,
+        /// Length of the requested region in bytes.
+        len: u64,
+    },
+    /// The system-wide segment table is full (the paper provisions 2048
+    /// entries).
+    SegmentTableFull,
+    /// An identifier (ASID, VMID, …) was exhausted or unknown.
+    BadId(
+        /// Description of the failing identifier.
+        &'static str,
+    ),
+    /// A configuration parameter was invalid (e.g. non-power-of-two set
+    /// count).
+    BadConfig(
+        /// Description of the failing parameter.
+        &'static str,
+    ),
+}
+
+impl fmt::Display for HvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvcError::Unmapped { asid, vaddr } => {
+                write!(f, "unmapped address {vaddr} in address space {asid}")
+            }
+            HvcError::PermissionFault { asid, vaddr, held, required } => write!(
+                f,
+                "permission fault at {vaddr} in address space {asid}: held {held}, required {required}"
+            ),
+            HvcError::OutOfMemory => write!(f, "out of physical memory"),
+            HvcError::RegionOverlap { asid, vaddr, len } => write!(
+                f,
+                "region [{vaddr}, +{len:#x}) overlaps an existing mapping in address space {asid}"
+            ),
+            HvcError::SegmentTableFull => write!(f, "system-wide segment table is full"),
+            HvcError::BadId(what) => write!(f, "bad identifier: {what}"),
+            HvcError::BadConfig(what) => write!(f, "bad configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HvcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = HvcError::Unmapped { asid: Asid::new(1), vaddr: VirtAddr::new(0x1000) };
+        assert_eq!(e.to_string(), "unmapped address 0x1000 in address space 1");
+
+        let e = HvcError::PermissionFault {
+            asid: Asid::new(2),
+            vaddr: VirtAddr::new(0x2000),
+            held: Permissions::READ,
+            required: Permissions::WRITE,
+        };
+        assert!(e.to_string().contains("permission fault"));
+        assert!(e.to_string().contains("r--"));
+
+        assert_eq!(HvcError::OutOfMemory.to_string(), "out of physical memory");
+        assert!(HvcError::SegmentTableFull.to_string().contains("segment table"));
+        assert!(HvcError::BadId("asid").to_string().contains("asid"));
+        assert!(HvcError::BadConfig("ways").to_string().contains("ways"));
+        let e = HvcError::RegionOverlap { asid: Asid::new(1), vaddr: VirtAddr::new(0), len: 4096 };
+        assert!(e.to_string().contains("overlaps"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(HvcError::OutOfMemory);
+    }
+}

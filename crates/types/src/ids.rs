@@ -1,0 +1,261 @@
+//! Address-space and virtual-machine identifiers, and the hybrid cache
+//! block naming scheme.
+
+use crate::addr::LineAddr;
+use core::fmt;
+
+/// A 16-bit address-space identifier.
+///
+/// The paper configures the ASID to 16 bits, "which allow 65,536 address
+/// spaces"; for virtualized systems the ASID embeds the virtual-machine
+/// identifier ([`Vmid`]) in its upper bits so that "a VM cannot access
+/// virtually-addressed cachelines of another VM".
+///
+/// # Examples
+///
+/// ```
+/// use hvc_types::{Asid, Vmid};
+///
+/// let native = Asid::new(42);
+/// assert_eq!(native.as_u16(), 42);
+///
+/// let guest = Asid::for_vm(Vmid::new(3), 42);
+/// assert_eq!(guest.vmid(), Vmid::new(3));
+/// assert_eq!(guest.local(), 42);
+/// assert_ne!(native, guest);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asid(u16);
+
+/// Number of ASID bits reserved for the VMID in virtualized systems.
+const VMID_BITS: u32 = 6;
+/// Number of ASID bits left for the per-VM process identifier.
+const LOCAL_BITS: u32 = 16 - VMID_BITS;
+
+impl Asid {
+    /// The kernel / hypervisor address space (ASID 0).
+    pub const KERNEL: Asid = Asid(0);
+
+    /// Creates a native (non-virtualized) ASID.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        Asid(raw)
+    }
+
+    /// Composes an ASID for process `local` running inside VM `vmid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` does not fit in the low 10 bits.
+    #[inline]
+    pub fn for_vm(vmid: Vmid, local: u16) -> Self {
+        assert!(
+            local < (1 << LOCAL_BITS),
+            "per-VM ASID {local} exceeds {} bits",
+            LOCAL_BITS
+        );
+        Asid(((vmid.0 as u16) << LOCAL_BITS) | local)
+    }
+
+    /// Returns the raw 16-bit value.
+    #[inline]
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the VMID embedded in the upper bits (VMID 0 for native
+    /// ASIDs).
+    #[inline]
+    pub const fn vmid(self) -> Vmid {
+        Vmid((self.0 >> LOCAL_BITS) as u8)
+    }
+
+    /// Returns the per-VM (or native) local identifier in the low bits.
+    #[inline]
+    pub const fn local(self) -> u16 {
+        self.0 & ((1 << LOCAL_BITS) - 1)
+    }
+}
+
+impl fmt::Debug for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Asid({})", self.0)
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Asid {
+    #[inline]
+    fn from(raw: u16) -> Self {
+        Asid(raw)
+    }
+}
+
+/// A virtual-machine identifier (up to 64 VMs).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vmid(u8);
+
+impl Vmid {
+    /// The host / native "VM" (VMID 0).
+    pub const HOST: Vmid = Vmid(0);
+
+    /// Creates a new VMID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not fit in 6 bits.
+    #[inline]
+    pub fn new(raw: u8) -> Self {
+        assert!(raw < (1 << VMID_BITS), "VMID {raw} exceeds {VMID_BITS} bits");
+        Vmid(raw)
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Vmid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vmid({})", self.0)
+    }
+}
+
+impl fmt::Display for Vmid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The unique name of a cache block in the hybrid hierarchy.
+///
+/// The paper's key correctness invariant is that "a single address (either
+/// ASID+VA or PA) is used for a physical cacheline in the entire cache
+/// hierarchy" — synonym pages are cached under their physical line address,
+/// non-synonym pages under `ASID ++ virtual line address`. `BlockName` is
+/// that single name; the cache crate keys tags by it and the coherence
+/// machinery never needs reverse maps.
+///
+/// The enum discriminant plays the role of the tag's *synonym bit* (`S` in
+/// the paper's Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlockName {
+    /// A physically-addressed block (synonym page, or a baseline physical
+    /// cache).
+    Phys(LineAddr),
+    /// A virtually-addressed block, tagged with the owning address space to
+    /// avoid homonyms.
+    Virt(Asid, LineAddr),
+}
+
+impl BlockName {
+    /// Returns the line address portion of the name (space-agnostic).
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        match self {
+            BlockName::Phys(l) | BlockName::Virt(_, l) => l,
+        }
+    }
+
+    /// Returns `true` if this block is physically addressed (the tag's
+    /// synonym bit is set).
+    #[inline]
+    pub fn is_phys(self) -> bool {
+        matches!(self, BlockName::Phys(_))
+    }
+
+    /// Returns the ASID for virtually-addressed blocks.
+    #[inline]
+    pub fn asid(self) -> Option<Asid> {
+        match self {
+            BlockName::Phys(_) => None,
+            BlockName::Virt(a, _) => Some(a),
+        }
+    }
+}
+
+impl fmt::Debug for BlockName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockName::Phys(l) => write!(f, "P:{:#x}", l.as_u64()),
+            BlockName::Virt(a, l) => write!(f, "V:{}:{:#x}", a, l.as_u64()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asid_vm_composition_round_trips() {
+        let a = Asid::for_vm(Vmid::new(5), 123);
+        assert_eq!(a.vmid(), Vmid::new(5));
+        assert_eq!(a.local(), 123);
+    }
+
+    #[test]
+    fn native_asid_has_host_vmid() {
+        assert_eq!(Asid::new(99).vmid(), Vmid::HOST);
+    }
+
+    #[test]
+    fn different_vms_never_collide() {
+        // Same local process id in two VMs must produce distinct ASIDs,
+        // otherwise one VM could hit the other's virtually-tagged lines.
+        let a = Asid::for_vm(Vmid::new(1), 7);
+        let b = Asid::for_vm(Vmid::new(2), 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_local_asid_rejected() {
+        let _ = Asid::for_vm(Vmid::new(1), 1 << 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_vmid_rejected() {
+        let _ = Vmid::new(64);
+    }
+
+    #[test]
+    fn block_names_distinguish_spaces() {
+        let l = LineAddr::new(0x40);
+        let p = BlockName::Phys(l);
+        let v = BlockName::Virt(Asid::new(1), l);
+        assert_ne!(p, v);
+        assert!(p.is_phys());
+        assert!(!v.is_phys());
+        assert_eq!(p.line(), l);
+        assert_eq!(v.asid(), Some(Asid::new(1)));
+        assert_eq!(p.asid(), None);
+    }
+
+    #[test]
+    fn homonyms_are_distinguished_by_asid() {
+        // Two processes using the same VA get different block names.
+        let l = LineAddr::new(0x1000);
+        let a = BlockName::Virt(Asid::new(1), l);
+        let b = BlockName::Virt(Asid::new(2), l);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let l = LineAddr::new(0x40);
+        assert_eq!(format!("{:?}", BlockName::Phys(l)), "P:0x40");
+        assert_eq!(
+            format!("{:?}", BlockName::Virt(Asid::new(3), l)),
+            "V:3:0x40"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Access permissions carried in page-table entries and hybrid cache tags.
+
+use core::fmt;
+use core::ops::{BitOr, BitOrAssign};
+
+/// Page / cacheline access permissions.
+///
+/// The paper extends each cache tag with two permission bits for
+/// non-synonym cachelines so that permission checks normally done by the
+/// TLB can be enforced at the cache instead (Figure 2 shows `rw` / `ro`
+/// encodings). We model read, write and execute.
+///
+/// # Examples
+///
+/// ```
+/// use hvc_types::Permissions;
+///
+/// let ro = Permissions::READ;
+/// assert!(ro.allows(Permissions::READ));
+/// assert!(!ro.allows(Permissions::WRITE));
+///
+/// let rw = Permissions::READ | Permissions::WRITE;
+/// assert!(rw.allows(Permissions::WRITE));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Permissions(u8);
+
+impl Permissions {
+    /// No access.
+    pub const NONE: Permissions = Permissions(0);
+    /// Read access.
+    pub const READ: Permissions = Permissions(1);
+    /// Write access.
+    pub const WRITE: Permissions = Permissions(2);
+    /// Instruction-fetch access.
+    pub const EXEC: Permissions = Permissions(4);
+    /// Read + write (the common private-page permission).
+    pub const RW: Permissions = Permissions(1 | 2);
+    /// Read + exec (the common text-page permission).
+    pub const RX: Permissions = Permissions(1 | 4);
+
+    /// Returns `true` if every permission in `required` is granted.
+    #[inline]
+    pub const fn allows(self, required: Permissions) -> bool {
+        (self.0 & required.0) == required.0
+    }
+
+    /// Returns `true` if write access is granted.
+    #[inline]
+    pub const fn is_writable(self) -> bool {
+        self.allows(Permissions::WRITE)
+    }
+
+    /// Returns a copy with write permission removed — the paper's
+    /// "downgrade to read-only" used for content-based sharing.
+    #[inline]
+    #[must_use]
+    pub const fn downgraded_read_only(self) -> Permissions {
+        Permissions(self.0 & !Permissions::WRITE.0)
+    }
+
+    /// Returns the raw bits (for tag-overhead accounting).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for Permissions {
+    type Output = Permissions;
+    #[inline]
+    fn bitor(self, rhs: Permissions) -> Permissions {
+        Permissions(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Permissions {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Permissions) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.allows(Permissions::READ) { "r" } else { "-" },
+            if self.allows(Permissions::WRITE) { "w" } else { "-" },
+            if self.allows(Permissions::EXEC) { "x" } else { "-" },
+        )
+    }
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_is_subset_check() {
+        assert!(Permissions::RW.allows(Permissions::READ));
+        assert!(Permissions::RW.allows(Permissions::WRITE));
+        assert!(!Permissions::RW.allows(Permissions::EXEC));
+        assert!(Permissions::NONE.allows(Permissions::NONE));
+        assert!(!Permissions::NONE.allows(Permissions::READ));
+    }
+
+    #[test]
+    fn downgrade_removes_write_only() {
+        let p = Permissions::RW | Permissions::EXEC;
+        let d = p.downgraded_read_only();
+        assert!(d.allows(Permissions::READ));
+        assert!(d.allows(Permissions::EXEC));
+        assert!(!d.is_writable());
+    }
+
+    #[test]
+    fn debug_is_unix_style() {
+        assert_eq!(format!("{:?}", Permissions::RW), "rw-");
+        assert_eq!(format!("{:?}", Permissions::RX), "r-x");
+        assert_eq!(format!("{:?}", Permissions::NONE), "---");
+    }
+}

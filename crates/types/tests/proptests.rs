@@ -1,0 +1,79 @@
+//! Property tests for the core types.
+
+use hvc_types::{Asid, Cycles, Permissions, PhysAddr, VirtAddr, Vmid, LINE_SIZE, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn virt_addr_masking_is_idempotent(raw in any::<u64>()) {
+        let once = VirtAddr::new(raw);
+        let twice = VirtAddr::new(once.as_u64());
+        prop_assert_eq!(once, twice);
+        prop_assert!(once.as_u64() < (1 << 48));
+    }
+
+    #[test]
+    fn page_and_line_offsets_compose(raw in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(raw);
+        prop_assert_eq!(va.page_number().base().as_u64() + va.page_offset(), raw);
+        prop_assert_eq!(va.line().base_raw() + va.line_offset(), raw);
+        prop_assert!(va.page_offset() < PAGE_SIZE);
+        prop_assert!(va.line_offset() < LINE_SIZE);
+    }
+
+    #[test]
+    fn align_down_up_bracket_the_address(raw in 0u64..(1 << 47), shift in 0u32..21) {
+        let align = 1u64 << shift;
+        let va = VirtAddr::new(raw);
+        let down = va.align_down(align);
+        let up = va.align_up(align);
+        prop_assert!(down <= va);
+        prop_assert!(up >= va || up.as_u64() == 0); // wrap at the top masked away
+        prop_assert!(down.is_aligned(align));
+        prop_assert!(va - down < align);
+    }
+
+    #[test]
+    fn asid_vmid_composition_roundtrips(vmid in 0u8..64, local in 0u16..1024) {
+        let a = Asid::for_vm(Vmid::new(vmid), local);
+        prop_assert_eq!(a.vmid(), Vmid::new(vmid));
+        prop_assert_eq!(a.local(), local);
+    }
+
+    #[test]
+    fn asid_composition_is_injective(
+        a in (0u8..64, 0u16..1024),
+        b in (0u8..64, 0u16..1024),
+    ) {
+        let ca = Asid::for_vm(Vmid::new(a.0), a.1);
+        let cb = Asid::for_vm(Vmid::new(b.0), b.1);
+        prop_assert_eq!(ca == cb, a == b);
+    }
+
+    #[test]
+    fn cycles_arithmetic_is_consistent(a in 0u64..(1 << 40), b in 0u64..(1 << 40)) {
+        let ca = Cycles::new(a);
+        let cb = Cycles::new(b);
+        prop_assert_eq!((ca + cb).get(), a + b);
+        prop_assert_eq!(ca.saturating_sub(cb).get(), a.saturating_sub(b));
+        prop_assert_eq!(ca.max(cb).get(), a.max(b));
+    }
+
+    #[test]
+    fn permission_downgrade_removes_only_write(bits in 0u8..8) {
+        let mut p = Permissions::NONE;
+        if bits & 1 != 0 { p |= Permissions::READ; }
+        if bits & 2 != 0 { p |= Permissions::WRITE; }
+        if bits & 4 != 0 { p |= Permissions::EXEC; }
+        let d = p.downgraded_read_only();
+        prop_assert!(!d.is_writable());
+        prop_assert_eq!(d.allows(Permissions::READ), p.allows(Permissions::READ));
+        prop_assert_eq!(d.allows(Permissions::EXEC), p.allows(Permissions::EXEC));
+    }
+
+    #[test]
+    fn phys_addr_frame_roundtrip(raw in 0u64..(1 << 52)) {
+        let pa = PhysAddr::new(raw);
+        prop_assert_eq!(pa.frame_number().base().as_u64() + pa.page_offset(), raw);
+    }
+}

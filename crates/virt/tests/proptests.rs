@@ -1,0 +1,92 @@
+//! Property tests for the virtualization substrate.
+
+use hvc_os::{AllocPolicy, MapIntent};
+use hvc_types::{Cycles, GuestPhysAddr, Permissions, VirtAddr, PAGE_SIZE};
+use hvc_virt::{Hypervisor, NestedWalker};
+use proptest::prelude::*;
+
+const GIB: u64 = 1 << 30;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// gPA→MA translation is stable (same gPA always reaches the same
+    /// machine address) and injective across distinct gPAs of one VM.
+    #[test]
+    fn ept_mapping_is_stable_and_injective(
+        gpas in prop::collection::btree_set(0u64..(1u64 << 16), 1..40),
+    ) {
+        let mut hv = Hypervisor::new(2 * GIB);
+        let vm = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for &g in &gpas {
+            let gpa = GuestPhysAddr::new(g * PAGE_SIZE);
+            let ma1 = hv.machine_addr(vm, gpa).unwrap();
+            let ma2 = hv.machine_addr(vm, gpa).unwrap();
+            prop_assert_eq!(ma1, ma2, "translation must be stable");
+            if let Some(prev) = seen.insert(ma1.frame_number(), g) {
+                prop_assert_eq!(prev, g, "two gPAs mapped to one machine frame");
+            }
+        }
+    }
+
+    /// The nested walker agrees with the guest-PT + EPT reference for
+    /// arbitrary touched guest pages.
+    #[test]
+    fn nested_walker_agrees_with_reference(pages in prop::collection::btree_set(0u64..128, 1..20)) {
+        let mut hv = Hypervisor::new(2 * GIB);
+        let vm = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+        let asid = hv.create_guest_process(vm).unwrap();
+        let base = 0x40_0000u64;
+        let gk = hv.guest_kernel_mut(vm).unwrap();
+        gk.mmap(asid, VirtAddr::new(base), 128 * PAGE_SIZE, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        // Touch + back everything the walks will need.
+        for &p in &pages {
+            let va = VirtAddr::new(base + p * PAGE_SIZE);
+            let gk = hv.guest_kernel_mut(vm).unwrap();
+            let gpte = gk.translate_touch(asid, va).unwrap();
+            let (_, path) = hv.guest_kernel(vm).unwrap().walk(asid, va.page_number()).unwrap();
+            for e in path {
+                hv.machine_addr(vm, GuestPhysAddr::new(e.as_u64())).unwrap();
+            }
+            hv.machine_addr(vm, GuestPhysAddr::new(gpte.frame.base().as_u64())).unwrap();
+        }
+        let mut w = NestedWalker::isca2016();
+        for &p in &pages {
+            let va = VirtAddr::new(base + p * PAGE_SIZE);
+            let (npte, _) = w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(1)).unwrap();
+            let gpte = hv.guest_kernel(vm).unwrap().walk(asid, va.page_number()).unwrap().0;
+            let ma = hv
+                .ept_walk(vm, GuestPhysAddr::new(gpte.frame.base().as_u64()))
+                .unwrap()
+                .0;
+            prop_assert_eq!(npte.machine_frame, ma.frame);
+        }
+    }
+
+    /// Dedup always reclaims exactly one frame per deduplicated pair and
+    /// never crosses wires: after dedup both gPAs read the same frame;
+    /// after a break they differ again.
+    #[test]
+    fn dedup_break_roundtrip(pairs in prop::collection::vec((0u64..64, 64u64..128), 1..10)) {
+        let mut hv = Hypervisor::new(2 * GIB);
+        let vm1 = hv.create_vm(GIB / 4, AllocPolicy::DemandPaging, false).unwrap();
+        let vm2 = hv.create_vm(GIB / 4, AllocPolicy::DemandPaging, false).unwrap();
+        for &(p1, p2) in &pairs {
+            let g1 = GuestPhysAddr::new(p1 * PAGE_SIZE);
+            let g2 = GuestPhysAddr::new(p2 * PAGE_SIZE);
+            hv.machine_addr(vm1, g1).unwrap();
+            hv.machine_addr(vm2, g2).unwrap();
+            let before = hv.free_machine_frames();
+            hv.dedup_ro((vm1, g1), (vm2, g2)).unwrap();
+            prop_assert!(hv.free_machine_frames() >= before);
+            let f1 = hv.ept_walk(vm1, g1).unwrap().0.frame;
+            let f2 = hv.ept_walk(vm2, g2).unwrap().0.frame;
+            prop_assert_eq!(f1, f2);
+            hv.break_dedup(vm2, g2).unwrap();
+            let f2b = hv.ept_walk(vm2, g2).unwrap().0.frame;
+            prop_assert_ne!(f1, f2b);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic workload generators for the HVC simulator.
+//!
+//! The paper evaluates on Pin traces of real applications (SPEC CPU2006,
+//! PARSEC, GUPS, Graph500, NPB, BioBench, postgres, apache, firefox,
+//! SpecJBB, memcached). Those traces are not reproducible here, so this
+//! crate generates synthetic traces whose *access skeletons* land in the
+//! same regimes that drive every figure:
+//!
+//! * page/segment working-set size vs. translation reach (GUPS and
+//!   mcf-like chase traffic thrash any delayed TLB; streaming barely
+//!   misses),
+//! * cache-resident fraction of TLB-missing lines (Zipfian object graphs
+//!   hit the LLC but miss small TLBs),
+//! * fraction of accesses to r/w-shared synonym pages (postgres-like
+//!   multi-process shm vs. SPEC-like private-only),
+//! * allocation patterns that determine eager-segment counts and memory
+//!   utilization (one big malloc vs. 64 MB on-demand chunks vs. scattered
+//!   arena growth).
+//!
+//! Each named profile in [`apps`] documents which paper workload it
+//! stands in for. All generators are deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_os::{AllocPolicy, Kernel};
+//! use hvc_workloads::apps;
+//!
+//! # fn main() -> Result<(), hvc_types::HvcError> {
+//! let mut kernel = Kernel::new(4 << 30, AllocPolicy::DemandPaging);
+//! let mut inst = apps::gups(64 << 20).instantiate(&mut kernel, 42)?;
+//! let refs: Vec<_> = inst.iter().take(1000).collect();
+//! assert_eq!(refs.len(), 1000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+mod patterns;
+mod spec;
+
+pub use patterns::{AccessPattern, Zipf};
+pub use spec::{RegionSpec, SharingSpec, WorkloadInstance, WorkloadSpec};

@@ -1,0 +1,172 @@
+//! Access-pattern primitives.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a workload walks its touched pages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccessPattern {
+    /// Uniform random pages (GUPS-like; worst case for any translation
+    /// structure).
+    Uniform,
+    /// Zipfian page popularity with the given skew `theta` in `(0, 1)`
+    /// (object-graph workloads: xalancbmk / omnetpp / SpecJBB-like).
+    Zipfian(f64),
+    /// Sequential streaming over all pages (stream / milc-like).
+    Stream,
+    /// Dependent pointer chasing over a fixed random permutation of pages
+    /// (mcf / canneal-like; no memory-level parallelism).
+    Chase,
+    /// Mostly-sequential walk that jumps to a random page with the given
+    /// probability (tigr / mummer-like branchy index walks).
+    Branchy(f64),
+    /// Alternating sequential rows and random gathers (NPB:CG-like
+    /// sparse mat-vec); the value is the fraction of gather accesses.
+    SparseGather(f64),
+    /// Phase-local working set: a sliding window of `window` pages
+    /// captures `p_in` of the accesses (the rest are uniform over all
+    /// pages); the window slides by a quarter of its size every
+    /// `slide_every` references. Models the strong phase locality of
+    /// server/desktop applications whose hot set exceeds the TLB but
+    /// fits the LLC — the regime behind the paper's Table II.
+    Phased {
+        /// Hot-window size in pages.
+        window: usize,
+        /// Probability an access lands in the window.
+        p_in: f64,
+        /// References between window slides.
+        slide_every: u32,
+    },
+}
+
+/// A Zipfian sampler over `0..n` using Gray et al.'s method with a
+/// precomputed harmonic normalizer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` (0 < theta < 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, zetan, alpha, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; integral approximation for large n to
+        // keep construction O(1)-ish for multi-GB regions.
+        const EXACT_LIMIT: u64 = 1 << 20;
+        if n <= EXACT_LIMIT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫ x^-θ dx from EXACT_LIMIT to n.
+            let a = EXACT_LIMIT as f64;
+            let b = n as f64;
+            head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    /// Draws a rank in `0..n` (0 is the most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Reference to the precomputed ζ(2, θ) (exposed for tests).
+    #[cfg(test)]
+    pub(crate) fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(10_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u64;
+        let total = 50_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta 0.9, the top 1% of pages should draw a large share.
+        let frac = head as f64 / total as f64;
+        assert!(frac > 0.4, "head fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_large_population_constructs_quickly_and_samples() {
+        let z = Zipf::new(1 << 24, 0.8); // 16M pages ≈ 64 GB region
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < (1 << 24));
+        }
+        assert!(z.zeta2() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_rejected() {
+        let _ = Zipf::new(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_rejected() {
+        let _ = Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(1000, 0.7);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the workload generators.
+
+use hvc_os::{AllocPolicy, Kernel};
+use hvc_types::PAGE_SIZE;
+use hvc_workloads::{AccessPattern, RegionSpec, SharingSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Uniform),
+        (0.5f64..0.95).prop_map(AccessPattern::Zipfian),
+        Just(AccessPattern::Stream),
+        Just(AccessPattern::Chase),
+        (0.05f64..0.9).prop_map(AccessPattern::Branchy),
+        (0.05f64..0.9).prop_map(AccessPattern::SparseGather),
+        (16usize..64, 0.3f64..0.95, 100u32..10_000).prop_map(|(w, p, s)| {
+            AccessPattern::Phased { window: w, p_in: p, slide_every: s }
+        }),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        prop::collection::vec((1u64..32, 0.1f64..=1.0), 1..4),
+        any::<bool>(),
+        pattern_strategy(),
+        0.0f64..=1.0,
+        0u32..8,
+        1u32..8,
+        1u32..12,
+        0.0f64..0.5,
+        prop::option::of((2usize..4, 1u64..16, 0.0f64..0.5)),
+    )
+        .prop_map(
+            |(regions, contiguous, pattern, write_frac, mean_gap, mlp, burst, stack, sharing)| {
+                WorkloadSpec {
+                    name: "prop".into(),
+                    regions: regions
+                        .into_iter()
+                        .map(|(pages, frac)| RegionSpec {
+                            len: pages * PAGE_SIZE,
+                            touch_frac: frac,
+                        })
+                        .collect(),
+                    contiguous,
+                    pattern,
+                    write_frac,
+                    mean_gap,
+                    mlp,
+                    burst,
+                    stack_frac: stack,
+                    sharing: sharing.map(|(processes, pages, frac)| SharingSpec {
+                        processes,
+                        shared_bytes: pages * PAGE_SIZE,
+                        shared_access_frac: frac,
+                    }),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated reference is inside a region the spec mapped, for
+    /// every pattern / sharing / burst combination.
+    #[test]
+    fn all_references_are_mapped(spec in spec_strategy(), seed in 0u64..1000) {
+        let mut k = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+        let mut inst = spec.instantiate(&mut k, seed).unwrap();
+        for item in inst.iter().take(2000).collect::<Vec<_>>() {
+            // translate_touch errors iff the address is unmapped.
+            prop_assert!(
+                k.touch(item.mref.asid, item.mref.vaddr, hvc_types::AccessKind::Read).is_ok(),
+                "unmapped reference {}",
+                item.mref
+            );
+        }
+    }
+
+    /// Two instantiations with the same seed produce identical traces;
+    /// different seeds (almost always) diverge.
+    #[test]
+    fn determinism_per_seed(spec in spec_strategy(), seed in 0u64..1000) {
+        let mut k1 = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+        let mut k2 = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+        let mut a = spec.instantiate(&mut k1, seed).unwrap();
+        let mut b = spec.instantiate(&mut k2, seed).unwrap();
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_item(), b.next_item());
+        }
+    }
+
+    /// The write fraction converges to the configured value.
+    #[test]
+    fn write_fraction_converges(frac in 0.0f64..=1.0, seed in 0u64..100) {
+        let spec = WorkloadSpec {
+            name: "wf".into(),
+            regions: vec![RegionSpec::full(64 * PAGE_SIZE)],
+            contiguous: true,
+            pattern: AccessPattern::Uniform,
+            write_frac: frac,
+            mean_gap: 2,
+            mlp: 1,
+            burst: 1,
+            stack_frac: 0.0,
+            sharing: None,
+        };
+        let mut k = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+        let mut inst = spec.instantiate(&mut k, seed).unwrap();
+        let n = 20_000;
+        let writes = inst.iter().take(n).filter(|i| i.mref.kind.is_write()).count();
+        let measured = writes as f64 / n as f64;
+        prop_assert!((measured - frac).abs() < 0.02, "measured {measured} vs {frac}");
+    }
+}

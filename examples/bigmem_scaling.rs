@@ -1,0 +1,63 @@
+//! Domain scenario: big-memory scaling — where fixed-granularity delayed
+//! TLBs run out and many-segment translation keeps scaling.
+//!
+//! Sweeps a GUPS-style working set from 32 MB to 512 MB under (a) a
+//! 4K-entry delayed TLB and (b) many-segment translation, printing the
+//! delayed-miss MPKI and IPC of each. This is the motivation behind the
+//! paper's Section IV.
+//!
+//! ```sh
+//! cargo run --release --example bigmem_scaling
+//! ```
+
+use hvc::core::{SystemConfig, SystemSim, TranslationScheme};
+use hvc::os::{AllocPolicy, Kernel};
+use hvc::types::HvcError;
+use hvc::workloads::apps;
+
+fn main() -> Result<(), HvcError> {
+    let refs = 200_000;
+    println!("big-memory scaling sweep ({refs} references per point)\n");
+    println!(
+        "{:>10}  {:>14}  {:>10}  {:>14}  {:>10}",
+        "mem", "dTLB-4k MPKI", "dTLB IPC", "manyseg walks", "seg IPC"
+    );
+
+    for shift in [25u32, 26, 27, 28, 29] {
+        let mem = 1u64 << shift;
+
+        // (a) page-granularity delayed TLB.
+        let mut kernel = Kernel::new(8 << 30, AllocPolicy::DemandPaging);
+        let mut wl = apps::gups(mem).instantiate(&mut kernel, 11)?;
+        let mut sim = SystemSim::new(
+            kernel,
+            SystemConfig::isca2016(),
+            TranslationScheme::HybridDelayedTlb(4096),
+        );
+        let tlb_report = sim.run(&mut wl, refs);
+
+        // (b) many-segment translation (eager allocation → one segment).
+        let mut kernel = Kernel::new(8 << 30, AllocPolicy::EagerSegments { split: 1 });
+        let mut wl = apps::gups(mem).instantiate(&mut kernel, 11)?;
+        let mut sim = SystemSim::new(
+            kernel,
+            SystemConfig::isca2016(),
+            TranslationScheme::HybridManySegment { segment_cache: true },
+        );
+        let seg_report = sim.run(&mut wl, refs);
+
+        println!(
+            "{:>7} MB  {:>14.2}  {:>10.3}  {:>14}  {:>10.3}",
+            mem >> 20,
+            tlb_report.mpki(tlb_report.translation.delayed_tlb_misses),
+            tlb_report.ipc(),
+            seg_report.translation.segment_table_accesses,
+            seg_report.ipc(),
+        );
+    }
+
+    println!("\nThe delayed TLB's MPKI grows with the working set (its reach is fixed at");
+    println!("16 MB for 4K entries), while a single variable-length segment covers any");
+    println!("size — the scalability argument for many-segment delayed translation.");
+    Ok(())
+}

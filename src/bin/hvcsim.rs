@@ -1,0 +1,295 @@
+//! `hvcsim` — command-line driver for the hybrid virtual caching
+//! simulator.
+//!
+//! ```sh
+//! hvcsim --workload gups --scheme manyseg --refs 1000000
+//! hvcsim --workload postgres --scheme dtlb:4096 --llc 8M --warm 200000
+//! hvcsim --list
+//! ```
+
+use hvc::core::{EnergyModel, SystemConfig, SystemSim, TranslationScheme};
+use hvc::os::{AllocPolicy, Kernel};
+use hvc::workloads::{apps, WorkloadSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hvcsim — hybrid virtual caching simulator (ISCA 2016 reproduction)
+
+USAGE:
+    hvcsim [OPTIONS]
+
+OPTIONS:
+    --workload <name>    workload profile (see --list)        [default: gups]
+    --scheme <scheme>    baseline | ideal | dtlb:<entries> |
+                         manyseg | manyseg-nosc | enigma:<entries>
+                                                              [default: manyseg]
+    --refs <n>           memory references to simulate        [default: 500000]
+    --warm <n>           unmeasured warm-up references        [default: refs/2]
+    --seed <n>           workload RNG seed                    [default: 42]
+    --mem <size>         gups table size, e.g. 256M, 1G       [default: 512M]
+    --llc <size>         LLC capacity: 2M or 8M               [default: 2M]
+    --cores <n>          number of cores                      [default: 1]
+    --ifetch             model the instruction-fetch stream
+    --save-trace <path>  write the measured reference stream to a file
+    --replay <path>      replay a saved trace instead of generating one
+    --list               list workload profiles and exit
+    --help               show this help
+";
+
+fn parse_size(s: &str) -> Option<u64> {
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+fn workload_by_name(name: &str, gups_mem: u64) -> Option<WorkloadSpec> {
+    Some(match name {
+        "gups" => apps::gups(gups_mem),
+        "milc" => apps::milc(),
+        "mcf" => apps::mcf(),
+        "xalancbmk" => apps::xalancbmk(),
+        "tigr" => apps::tigr(),
+        "omnetpp" => apps::omnetpp(),
+        "soplex" => apps::soplex(),
+        "astar" => apps::astar(),
+        "cactus" => apps::cactus(),
+        "gems" => apps::gems(),
+        "canneal" => apps::canneal(),
+        "stream" => apps::stream(),
+        "mummer" => apps::mummer(),
+        "memcached" => apps::memcached(),
+        "cg" => apps::npb_cg(),
+        "graph500" => apps::graph500(),
+        "ferret" => apps::ferret(),
+        "postgres" => apps::postgres(),
+        "specjbb" => apps::specjbb(),
+        "firefox" => apps::firefox(),
+        "apache" => apps::apache(),
+        _ => return None,
+    })
+}
+
+fn parse_scheme(s: &str) -> Option<(TranslationScheme, AllocPolicy)> {
+    let demand = AllocPolicy::DemandPaging;
+    let eager = AllocPolicy::EagerSegments { split: 1 };
+    Some(match s {
+        "baseline" => (TranslationScheme::Baseline, demand),
+        "ideal" => (TranslationScheme::Ideal, demand),
+        "manyseg" => (TranslationScheme::HybridManySegment { segment_cache: true }, eager),
+        "manyseg-nosc" => (TranslationScheme::HybridManySegment { segment_cache: false }, eager),
+        _ => {
+            if let Some(n) = s.strip_prefix("dtlb:") {
+                (TranslationScheme::HybridDelayedTlb(n.parse().ok()?), demand)
+            } else if let Some(n) = s.strip_prefix("enigma:") {
+                (TranslationScheme::EnigmaDelayedTlb(n.parse().ok()?), demand)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let mut workload = "gups".to_string();
+    let mut scheme = "manyseg".to_string();
+    let mut refs = 500_000usize;
+    let mut warm: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut mem = 512u64 << 20;
+    let mut llc = 2u64 << 20;
+    let mut cores = 1usize;
+    let mut ifetch = false;
+    let mut save_trace: Option<String> = None;
+    let mut replay: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Option<String> {
+        *i += 1;
+        args.get(*i - 1).cloned()
+    };
+    while i < args.len() {
+        let arg = args[i].clone();
+        i += 1;
+        let bad = || {
+            eprintln!("invalid or missing value for {arg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                println!("workload profiles:");
+                println!("  big-memory : gups milc mcf xalancbmk tigr omnetpp soplex");
+                println!("               astar cactus gems canneal stream mummer");
+                println!("               memcached cg graph500");
+                println!("  synonym    : ferret postgres specjbb firefox apache");
+                return ExitCode::SUCCESS;
+            }
+            "--workload" => match next(&mut i) {
+                Some(v) => workload = v,
+                None => return bad(),
+            },
+            "--scheme" => match next(&mut i) {
+                Some(v) => scheme = v,
+                None => return bad(),
+            },
+            "--refs" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => refs = v,
+                None => return bad(),
+            },
+            "--warm" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => warm = Some(v),
+                None => return bad(),
+            },
+            "--seed" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return bad(),
+            },
+            "--mem" => match next(&mut i).and_then(|v| parse_size(&v)) {
+                Some(v) => mem = v,
+                None => return bad(),
+            },
+            "--llc" => match next(&mut i).and_then(|v| parse_size(&v)) {
+                Some(v) => llc = v,
+                None => return bad(),
+            },
+            "--cores" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cores = v,
+                None => return bad(),
+            },
+            "--ifetch" => ifetch = true,
+            "--save-trace" => match next(&mut i) {
+                Some(v) => save_trace = Some(v),
+                None => return bad(),
+            },
+            "--replay" => match next(&mut i) {
+                Some(v) => replay = Some(v),
+                None => return bad(),
+            },
+            _ => {
+                eprintln!("unknown option {arg}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(spec) = workload_by_name(&workload, mem) else {
+        eprintln!("unknown workload '{workload}' (try --list)");
+        return ExitCode::FAILURE;
+    };
+    let Some((scheme, policy)) = parse_scheme(&scheme) else {
+        eprintln!("unknown scheme '{scheme}'\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut config = SystemConfig::isca2016();
+    config.hierarchy = hvc::cache::HierarchyConfig::isca2016(cores.max(1));
+    if llc != 2 << 20 {
+        // 16-way, 64 B lines: capacity must divide into a power-of-two
+        // number of sets.
+        let lines = llc / 64;
+        if lines == 0 || !lines.is_multiple_of(16) || !(lines / 16).is_power_of_two() {
+            eprintln!(
+                "--llc {llc} is not a valid 16-way geometry (use a power of two ≥ 64K, e.g. 2M, 8M)"
+            );
+            return ExitCode::FAILURE;
+        }
+        config.hierarchy.llc =
+            hvc::cache::CacheConfig::new(llc, 16, hvc::types::Cycles::new(27));
+    }
+    config.model_ifetch = ifetch;
+
+    let mut kernel = Kernel::new(16 << 30, policy);
+    let mut wl = match spec.instantiate(&mut kernel, seed) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("failed to set up workload: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let warm = warm.unwrap_or(refs / 2);
+    eprintln!(
+        "running {} under {:?} ({} warm-up + {} measured references)…",
+        wl.name(),
+        scheme,
+        warm,
+        refs
+    );
+    let mut sim = SystemSim::new(kernel, config, scheme);
+    if warm > 0 {
+        sim.warm_up(&mut wl, warm);
+    }
+    let start = std::time::Instant::now();
+    let report = if let Some(path) = &replay {
+        // Replay a saved trace (the workload instance still provided the
+        // memory layout; the stream comes from the file).
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let reader = match hvc::trace::read_trace(std::io::BufReader::new(file)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot read trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mlp = wl.mlp();
+        sim.run_trace(reader.map_while(Result::ok).take(refs), mlp)
+    } else if let Some(path) = &save_trace {
+        let items: Vec<hvc::types::TraceItem> = (0..refs).map(|_| wl.next_item()).collect();
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = hvc::trace::write_trace(std::io::BufWriter::new(file), items.iter().copied()) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("saved {} references to {path}", items.len());
+        let mlp = wl.mlp();
+        sim.run_trace(items, mlp)
+    } else {
+        sim.run(&mut wl, refs)
+    };
+    let wall = start.elapsed();
+
+    let t = &report.translation;
+    println!("== {} / {:?} ==", wl.name(), sim.scheme());
+    println!("instructions        {:>12}", report.instructions);
+    println!("cycles              {:>12}", report.cycles);
+    println!("IPC                 {:>12.4}", report.ipc());
+    println!("front TLB lookups   {:>12}", t.front_tlb_accesses());
+    println!("filter lookups      {:>12}", t.filter_lookups);
+    println!("  candidates        {:>12}", t.filter_candidates);
+    println!("  false positives   {:>12}", t.false_positives);
+    println!("delayed TLB lookups {:>12}", t.delayed_tlb_lookups);
+    println!("  misses            {:>12}", t.delayed_tlb_misses);
+    println!("segment-cache hits  {:>12}", t.sc_lookups);
+    println!("PTE reads           {:>12}", t.pte_reads);
+    println!("shared accesses     {:>12}", t.shared_accesses);
+    println!("LLC miss rate       {:>11.1}%", report.cache.llc.miss_rate().unwrap_or(0.0) * 100.0);
+    println!("DRAM mean latency   {:>12.1}", report.dram.mean_latency().unwrap_or(0.0));
+    let energy = EnergyModel::cacti_32nm().breakdown(t, 4096).total() / 1e6;
+    println!("translation energy  {:>10.2} µJ", energy);
+    println!("minor faults        {:>12}", report.minor_faults);
+    println!(
+        "simulated {:.2} M refs/s",
+        (warm + refs) as f64 / wall.as_secs_f64() / 1e6
+    );
+    ExitCode::SUCCESS
+}

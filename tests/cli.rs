@@ -1,0 +1,85 @@
+//! End-to-end tests of the `hvcsim` command-line driver.
+
+use std::process::Command;
+
+fn hvcsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hvcsim"))
+}
+
+#[test]
+fn help_and_list_work() {
+    let out = hvcsim().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--workload"));
+
+    let out = hvcsim().arg("--list").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("postgres"));
+    assert!(text.contains("gups"));
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    for args in [
+        vec!["--scheme", "bogus"],
+        vec!["--workload", "nope"],
+        vec!["--definitely-not-a-flag"],
+        vec!["--refs"], // missing value
+    ] {
+        let out = hvcsim().args(&args).output().expect("spawn");
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}
+
+#[test]
+fn small_simulation_reports_ipc() {
+    let out = hvcsim()
+        .args(["--workload", "astar", "--scheme", "baseline", "--refs", "5000", "--warm", "0", "--mem", "16M"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("IPC"));
+    assert!(text.contains("front TLB lookups"));
+}
+
+#[test]
+fn trace_save_then_replay_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("hvcsim-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.hvct");
+
+    // Saving a trace runs the simulation on the captured items.
+    let saved = hvcsim()
+        .args([
+            "--workload", "omnetpp", "--scheme", "dtlb:1024", "--refs", "8000", "--warm", "0",
+            "--seed", "5", "--save-trace",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(saved.status.success(), "stderr: {}", String::from_utf8_lossy(&saved.stderr));
+
+    // Replaying the same trace under the same scheme must reproduce the
+    // exact same cycle count.
+    let replayed = hvcsim()
+        .args([
+            "--workload", "omnetpp", "--scheme", "dtlb:1024", "--refs", "8000", "--warm", "0",
+            "--seed", "5", "--replay",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(replayed.status.success());
+
+    let cycles = |out: &[u8]| -> String {
+        String::from_utf8_lossy(out)
+            .lines()
+            .find(|l| l.starts_with("cycles"))
+            .expect("cycles line")
+            .to_string()
+    };
+    assert_eq!(cycles(&saved.stdout), cycles(&replayed.stdout));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) of the core data-structure invariants
+//! across crates.
+
+use hvc::cache::{Cache, CacheConfig};
+use hvc::filter::SynonymFilter;
+use hvc::os::{BuddyAllocator, SegmentTable};
+use hvc::segment::IndexTree;
+use hvc::tlb::{Tlb, TlbConfig};
+use hvc::types::{Asid, BlockName, Cycles, LineAddr, Permissions, PhysAddr, VirtAddr, VirtPage};
+use proptest::prelude::*;
+
+proptest! {
+    /// The synonym filter never produces a false negative, for any set of
+    /// inserted pages and any probe into an inserted page's region.
+    #[test]
+    fn filter_has_no_false_negatives(
+        pages in prop::collection::vec(0u64..(1 << 36), 1..200),
+        probe_offsets in prop::collection::vec((0usize..200, 0u64..0x1000), 1..50),
+    ) {
+        let mut f = SynonymFilter::new();
+        for &p in &pages {
+            f.insert_page(VirtAddr::new(p << 12));
+        }
+        for &(i, off) in &probe_offsets {
+            let page = pages[i % pages.len()];
+            prop_assert!(f.is_candidate(VirtAddr::new((page << 12) + off)));
+        }
+    }
+
+    /// Buddy allocator conservation: allocations and frees always leave
+    /// `free_frames` consistent, blocks never overlap, and freeing
+    /// everything restores the initial state.
+    #[test]
+    fn buddy_allocator_conserves_frames(ops in prop::collection::vec(1u64..512, 1..40)) {
+        let mut b = BuddyAllocator::new(1 << 30);
+        let total = b.free_frames();
+        let mut live: Vec<(hvc::types::PhysFrame, u64)> = Vec::new();
+        for &n in &ops {
+            if let Ok(base) = b.alloc_exact(n) {
+                // No overlap with any live allocation.
+                for &(other, m) in &live {
+                    let a0 = base.as_u64();
+                    let a1 = a0 + n;
+                    let b0 = other.as_u64();
+                    let b1 = b0 + m;
+                    prop_assert!(a1 <= b0 || b1 <= a0, "overlap");
+                }
+                live.push((base, n));
+            }
+        }
+        let used: u64 = live.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(b.free_frames(), total - used);
+        for (base, n) in live {
+            b.free_exact(base, n);
+        }
+        prop_assert_eq!(b.free_frames(), total);
+        prop_assert_eq!(b.largest_free_block(), hvc::os::MAX_BLOCK_FRAMES.min(total));
+    }
+
+    /// The index tree's predecessor search agrees with a linear scan of
+    /// the segment table for arbitrary segment layouts and probes.
+    #[test]
+    fn index_tree_matches_linear_search(
+        seg_starts in prop::collection::btree_set(0u64..1000, 1..60),
+        probes in prop::collection::vec(0u64..1_100_000, 1..60),
+    ) {
+        let mut table = SegmentTable::new(4096);
+        for &s in &seg_starts {
+            // Disjoint 512-byte-page segments at 4 KiB-aligned slots.
+            table
+                .insert(Asid::new(1), VirtAddr::new(s * 0x1000), 0x800, PhysAddr::new(s * 0x800))
+                .unwrap();
+        }
+        let tree = IndexTree::build(&table, PhysAddr::new(0));
+        for &p in &probes {
+            let va = VirtAddr::new(p);
+            let expected = table.find(Asid::new(1), va).map(|s| s.id);
+            let mut touched = Vec::new();
+            let got = tree
+                .lookup(Asid::new(1), va, &mut touched)
+                .filter(|id| {
+                    table.get(*id).is_some_and(|s| s.contains(Asid::new(1), va))
+                });
+            prop_assert_eq!(got, expected);
+            prop_assert!(touched.len() <= tree.depth());
+        }
+    }
+
+    /// A cache never exceeds its capacity and a fill always makes the
+    /// block resident.
+    #[test]
+    fn cache_capacity_and_residency(lines in prop::collection::vec(0u64..4096, 1..300)) {
+        let mut c = Cache::new(CacheConfig::new(64 * 64, 4, Cycles::new(1)));
+        for &l in &lines {
+            let name = BlockName::Virt(Asid::new(1), LineAddr::new(l));
+            c.fill(name, false, Permissions::RW);
+            prop_assert!(c.contains(name), "just-filled block resident");
+            prop_assert!(c.occupancy() <= 64, "capacity exceeded");
+        }
+    }
+
+    /// TLB lookups after insert always hit until evicted, and flushes
+    /// remove exactly the targeted entries.
+    #[test]
+    fn tlb_flush_precision(
+        pages in prop::collection::btree_set(0u64..512, 2..40),
+        flush_page in 0u64..512,
+    ) {
+        let mut t = Tlb::new(TlbConfig::new(1024, 8, Cycles::new(1)));
+        let pte = hvc::os::Pte {
+            frame: hvc::types::PhysFrame::new(1),
+            perm: Permissions::RW,
+            shared: false,
+        };
+        for &p in &pages {
+            t.insert(Asid::new(1), VirtPage::new(p), pte);
+        }
+        t.flush_page(Asid::new(1), VirtPage::new(flush_page));
+        for &p in &pages {
+            let expected = p != flush_page;
+            prop_assert_eq!(t.contains(Asid::new(1), VirtPage::new(p)), expected);
+        }
+    }
+
+    /// Address arithmetic round-trips: page/line decomposition is exact.
+    #[test]
+    fn address_decomposition_roundtrips(raw in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(raw);
+        prop_assert_eq!(va.page_number().base() + va.page_offset(), va);
+        prop_assert_eq!(
+            PhysAddr::new(va.line().base_raw()).as_u64() + va.line_offset(),
+            va.as_u64()
+        );
+    }
+}

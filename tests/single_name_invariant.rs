@@ -1,0 +1,174 @@
+//! Cross-crate integration tests of the paper's central correctness
+//! argument: every physical cache block has exactly **one** name in the
+//! hierarchy (`ASID ++ VA` for non-synonyms, PA for synonyms), so the
+//! synonym problem cannot arise.
+
+use hvc::cache::{Hierarchy, HierarchyConfig};
+use hvc::os::{AllocPolicy, Kernel, MapIntent};
+use hvc::types::{AccessKind, Asid, BlockName, Permissions, VirtAddr};
+
+/// Resolves the unique hybrid name of `(asid, va)`: physical for synonym
+/// pages, virtual otherwise — the front-end rule of `hvc-core`.
+fn hybrid_name(kernel: &mut Kernel, asid: Asid, va: VirtAddr) -> BlockName {
+    let pte = kernel.translate_touch(asid, va).expect("mapped");
+    if pte.shared {
+        let pa = pte.frame.base() + va.page_offset();
+        BlockName::Phys(pa.line())
+    } else {
+        BlockName::Virt(asid, va.line())
+    }
+}
+
+#[test]
+fn synonyms_share_one_physical_name() {
+    let mut kernel = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+    let a = kernel.create_process().unwrap();
+    let b = kernel.create_process().unwrap();
+    let shm = kernel.shm_create(0x4000).unwrap();
+    kernel
+        .mmap(a, VirtAddr::new(0x1000_0000), 0x4000, Permissions::RW, MapIntent::Shared(shm))
+        .unwrap();
+    kernel
+        .mmap(b, VirtAddr::new(0x5000_0000), 0x4000, Permissions::RW, MapIntent::Shared(shm))
+        .unwrap();
+
+    // Both processes' views of the same shared line resolve to one name.
+    for off in [0u64, 0x40, 0x1000, 0x3fc0] {
+        let na = hybrid_name(&mut kernel, a, VirtAddr::new(0x1000_0000 + off));
+        let nb = hybrid_name(&mut kernel, b, VirtAddr::new(0x5000_0000 + off));
+        assert_eq!(na, nb, "synonym views must share one cache name");
+        assert!(na.is_phys(), "synonym pages are physically named");
+    }
+}
+
+#[test]
+fn writes_through_one_synonym_view_are_seen_by_the_other() {
+    // Functional coherence through the hierarchy: process A writes via
+    // its VA, process B (different VA, same frame) must observe the
+    // dirtiness under the shared physical name — no stale second copy
+    // can exist because there is no second name.
+    let mut kernel = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+    let a = kernel.create_process().unwrap();
+    let b = kernel.create_process().unwrap();
+    let shm = kernel.shm_create(0x1000).unwrap();
+    kernel
+        .mmap(a, VirtAddr::new(0x1000_0000), 0x1000, Permissions::RW, MapIntent::Shared(shm))
+        .unwrap();
+    kernel
+        .mmap(b, VirtAddr::new(0x5000_0000), 0x1000, Permissions::RW, MapIntent::Shared(shm))
+        .unwrap();
+
+    let mut hierarchy = Hierarchy::new(HierarchyConfig::isca2016(2));
+    let name_a = hybrid_name(&mut kernel, a, VirtAddr::new(0x1000_0040));
+    let name_b = hybrid_name(&mut kernel, b, VirtAddr::new(0x5000_0040));
+    assert_eq!(name_a, name_b);
+
+    // Core 0 (process A) writes; core 1 (process B) reads the same name.
+    hierarchy.access(0, name_a, AccessKind::Write);
+    let r = hierarchy.access(1, name_b, AccessKind::Read);
+    assert!(r.hit_level.is_some(), "B finds A's data on chip (one name)");
+}
+
+#[test]
+fn private_pages_of_different_processes_never_collide() {
+    let mut kernel = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+    let a = kernel.create_process().unwrap();
+    let b = kernel.create_process().unwrap();
+    for p in [a, b] {
+        kernel
+            .mmap(p, VirtAddr::new(0x2000_0000), 0x2000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+    }
+    // Same VA in both processes (homonym): distinct names, distinct frames.
+    let na = hybrid_name(&mut kernel, a, VirtAddr::new(0x2000_0000));
+    let nb = hybrid_name(&mut kernel, b, VirtAddr::new(0x2000_0000));
+    assert_ne!(na, nb, "homonyms must have distinct names");
+    let fa = kernel.translate_touch(a, VirtAddr::new(0x2000_0000)).unwrap().frame;
+    let fb = kernel.translate_touch(b, VirtAddr::new(0x2000_0000)).unwrap().frame;
+    assert_ne!(fa, fb);
+}
+
+#[test]
+fn no_frame_is_reachable_under_two_names() {
+    // Sweep a mixed workload (private + shared + DMA) and check the
+    // name → frame mapping is injective in the frame direction.
+    use std::collections::HashMap;
+    let mut kernel = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+    let shm = kernel.shm_create(0x8000).unwrap();
+    let mut names_by_frame: HashMap<u64, BlockName> = HashMap::new();
+    let mut procs = Vec::new();
+    for i in 0..4u64 {
+        let p = kernel.create_process().unwrap();
+        procs.push(p);
+        kernel
+            .mmap(p, VirtAddr::new(0x1000_0000), 0x8000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        kernel
+            .mmap(
+                p,
+                VirtAddr::new(0x7000_0000 + i * 0x10_0000),
+                0x8000,
+                Permissions::RW,
+                MapIntent::Shared(shm),
+            )
+            .unwrap();
+        kernel
+            .mmap(
+                p,
+                VirtAddr::new(0x9000_0000),
+                0x2000,
+                Permissions::RW,
+                MapIntent::Dma,
+            )
+            .unwrap();
+    }
+    for (i, &p) in procs.clone().iter().enumerate() {
+        for page in 0..8u64 {
+            for (region, base) in [
+                (0, 0x1000_0000),
+                (1, 0x7000_0000 + (i as u64) * 0x10_0000),
+            ] {
+                let va = VirtAddr::new(base + page * 0x1000);
+                let pte = kernel.translate_touch(p, va).unwrap();
+                let name = hybrid_name(&mut kernel, p, va);
+                let frame_line = (pte.frame.base() + va.page_offset()).line().as_u64();
+                match names_by_frame.entry(frame_line) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(name);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        assert_eq!(
+                            *e.get(),
+                            name,
+                            "frame line {frame_line:#x} reachable under two names \
+                             (region {region})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_never_misses_a_synonym_across_many_processes() {
+    // System-level no-false-negative check: every page the kernel marks
+    // shared is a filter candidate in every attaching address space.
+    let mut kernel = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
+    let shm = kernel.shm_create(0x40_000).unwrap();
+    for i in 0..8u64 {
+        let p = kernel.create_process().unwrap();
+        let base = 0x7000_0000_0000 + i * 0x9000_0000;
+        kernel
+            .mmap(p, VirtAddr::new(base), 0x40_000, Permissions::RW, MapIntent::Shared(shm))
+            .unwrap();
+        let space = kernel.space(p).unwrap();
+        for page in 0..64u64 {
+            let va = VirtAddr::new(base + page * 0x1000);
+            assert!(
+                space.filter.is_candidate(va),
+                "false negative for process {i} page {page}"
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end virtualization tests: nested translation agrees across
+//! every path (EPT demand walks, nested hardware walks, 2D segments),
+//! and guest/host synonym detection composes correctly.
+
+use hvc::core::{SystemConfig, VirtScheme, VirtSystemSim};
+use hvc::os::{AllocPolicy, MapIntent};
+use hvc::types::{AccessKind, Cycles, GuestPhysAddr, Permissions, VirtAddr};
+use hvc::virt::{Hypervisor, NestedSegments, NestedWalker};
+use hvc::workloads::apps;
+
+const GIB: u64 = 1 << 30;
+
+#[test]
+fn all_nested_translation_paths_agree() {
+    let mut hv = Hypervisor::new(4 * GIB);
+    let vm = hv
+        .create_vm(GIB, AllocPolicy::EagerSegments { split: 1 }, true)
+        .unwrap();
+    let asid = hv.create_guest_process(vm).unwrap();
+    let va = VirtAddr::new(0x40_0000);
+    let gk = hv.guest_kernel_mut(vm).unwrap();
+    gk.mmap(asid, va, 1 << 20, Permissions::RW, MapIntent::Private).unwrap();
+
+    let probe = va + 0x3456;
+
+    // Path 1: guest PT + EPT (the reference).
+    let gpte = hv.guest_kernel(vm).unwrap().walk(asid, probe.page_number()).unwrap().0;
+    let gpa = GuestPhysAddr::new(gpte.frame.base().as_u64() + probe.page_offset());
+    let ma_ref = hv.machine_addr(vm, gpa).unwrap();
+
+    // Path 2: hardware nested walker (pre-touch PT pages).
+    let (_, gpath) = hv.guest_kernel(vm).unwrap().walk(asid, probe.page_number()).unwrap();
+    for e in gpath {
+        hv.machine_addr(vm, GuestPhysAddr::new(e.as_u64())).unwrap();
+    }
+    let mut walker = NestedWalker::isca2016();
+    let (npte, _) = walker
+        .walk(&hv, vm, asid, probe.page_number(), |_| Cycles::new(1))
+        .unwrap();
+    assert_eq!(
+        npte.machine_frame.base().as_u64() + probe.page_offset(),
+        ma_ref.as_u64(),
+        "nested walker disagrees with EPT reference"
+    );
+
+    // Path 3: 2D segment translation.
+    let mut ns = NestedSegments::build(&hv, vm).unwrap();
+    let host_key = hv.host_segment_key(vm).unwrap();
+    let (ma_seg, _) = ns.translate(asid, host_key, probe, |_| Cycles::new(1)).unwrap();
+    assert_eq!(ma_seg, ma_ref, "2D segments disagree with EPT reference");
+}
+
+#[test]
+fn guest_synonyms_work_inside_a_vm() {
+    // Two guest processes in one VM share guest memory — guest-OS-induced
+    // synonyms detected by the guest filter, physical(machine)-named.
+    let mut hv = Hypervisor::new(4 * GIB);
+    let vm = hv.create_vm(GIB, AllocPolicy::DemandPaging, false).unwrap();
+    let a = hv.create_guest_process(vm).unwrap();
+    let b = hv.create_guest_process(vm).unwrap();
+    let gk = hv.guest_kernel_mut(vm).unwrap();
+    let shm = gk.shm_create(0x2000).unwrap();
+    gk.mmap(a, VirtAddr::new(0x7000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
+        .unwrap();
+    gk.mmap(b, VirtAddr::new(0x9000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
+        .unwrap();
+    let pa = gk.translate_touch(a, VirtAddr::new(0x7000_0000)).unwrap();
+    let pb = gk.translate_touch(b, VirtAddr::new(0x9000_0000)).unwrap();
+    assert_eq!(pa.frame, pb.frame, "same guest-physical frame");
+    assert!(pa.shared && pb.shared);
+    assert!(gk.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+    assert!(gk.space(b).unwrap().filter.is_candidate(VirtAddr::new(0x9000_0000)));
+    // The two guest views reach one machine address.
+    let ma_a = hv
+        .machine_addr(vm, GuestPhysAddr::new(pa.frame.base().as_u64()))
+        .unwrap();
+    let ma_b = hv
+        .machine_addr(vm, GuestPhysAddr::new(pb.frame.base().as_u64()))
+        .unwrap();
+    assert_eq!(ma_a, ma_b);
+}
+
+#[test]
+fn vm_isolation_distinct_asids_and_frames() {
+    let mut hv = Hypervisor::new(4 * GIB);
+    let vm1 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+    let vm2 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+    let a1 = hv.create_guest_process(vm1).unwrap();
+    let a2 = hv.create_guest_process(vm2).unwrap();
+    assert_ne!(a1, a2, "ASIDs embed VMIDs so VMs cannot alias");
+    for (vm, asid) in [(vm1, a1), (vm2, a2)] {
+        let gk = hv.guest_kernel_mut(vm).unwrap();
+        gk.mmap(asid, VirtAddr::new(0x1000_0000), 0x1000, Permissions::RW, MapIntent::Private)
+            .unwrap();
+        gk.translate_touch(asid, VirtAddr::new(0x1000_0000)).unwrap();
+    }
+    let g1 = hv.guest_kernel(vm1).unwrap().walk(a1, VirtAddr::new(0x1000_0000).page_number()).unwrap().0;
+    let g2 = hv.guest_kernel(vm2).unwrap().walk(a2, VirtAddr::new(0x1000_0000).page_number()).unwrap().0;
+    let m1 = hv.machine_addr(vm1, GuestPhysAddr::new(g1.frame.base().as_u64())).unwrap();
+    let m2 = hv.machine_addr(vm2, GuestPhysAddr::new(g2.frame.base().as_u64())).unwrap();
+    assert_ne!(m1.frame_number(), m2.frame_number(), "machine frames are disjoint");
+}
+
+#[test]
+fn virt_sim_schemes_agree_functionally() {
+    let refs = 20_000;
+    let mk = |scheme| {
+        let (policy, eager) = match scheme {
+            VirtScheme::HybridNestedSegments => (AllocPolicy::EagerSegments { split: 1 }, true),
+            _ => (AllocPolicy::DemandPaging, false),
+        };
+        let mut hv = Hypervisor::new(4 * GIB);
+        let vm = hv.create_vm(GIB, policy, eager).unwrap();
+        let gk = hv.guest_kernel_mut(vm).unwrap();
+        let mut wl = apps::astar().instantiate(gk, 13).unwrap();
+        let mut sim = VirtSystemSim::new(hv, vm, SystemConfig::isca2016(), scheme).unwrap();
+        sim.run(&mut wl, refs)
+    };
+    let base = mk(VirtScheme::NestedBaseline);
+    let dtlb = mk(VirtScheme::HybridDelayedNested(4096));
+    let seg = mk(VirtScheme::HybridNestedSegments);
+    assert_eq!(base.instructions, dtlb.instructions);
+    assert_eq!(base.instructions, seg.instructions);
+    assert!(base.ipc() > 0.0 && dtlb.ipc() > 0.0 && seg.ipc() > 0.0);
+}
+
+#[test]
+fn dedup_then_write_roundtrip_preserves_isolation() {
+    let mut hv = Hypervisor::new(4 * GIB);
+    let vm1 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+    let vm2 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+    let g1 = GuestPhysAddr::new(0x10_0000);
+    let g2 = GuestPhysAddr::new(0x20_0000);
+    hv.machine_addr(vm1, g1).unwrap();
+    hv.machine_addr(vm2, g2).unwrap();
+    hv.dedup_ro((vm1, g1), (vm2, g2)).unwrap();
+    let shared_frame = hv.ept_walk(vm1, g1).unwrap().0.frame;
+    assert_eq!(hv.ept_walk(vm2, g2).unwrap().0.frame, shared_frame);
+
+    // VM2 writes → breaks → VM1 still points at the original frame.
+    hv.break_dedup(vm2, g2).unwrap();
+    assert_eq!(hv.ept_walk(vm1, g1).unwrap().0.frame, shared_frame);
+    assert_ne!(hv.ept_walk(vm2, g2).unwrap().0.frame, shared_frame);
+    let _ = AccessKind::Read;
+}
