@@ -60,7 +60,12 @@ fn main() {
 
     print_table(
         "Ablation: filter false-positive rate by granularity design",
-        &["shared regions", "coarse-only (16MB)", "fine-only (32KB)", "both (paper)"],
+        &[
+            "shared regions",
+            "coarse-only (16MB)",
+            "fine-only (32KB)",
+            "both (paper)",
+        ],
         &rows,
     );
     println!("\nExpected shape: the conjunction stays well under either filter alone,");

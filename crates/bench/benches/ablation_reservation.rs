@@ -17,8 +17,14 @@ fn main() {
     for spec in [apps::cactus(), apps::memcached(), apps::gems()] {
         for (label, policy) in [
             ("eager", AllocPolicy::EagerSegments { split: 1 }),
-            ("reserved-2MB", AllocPolicy::ReservedSegments { sub_pages: 512 }),
-            ("reserved-8MB", AllocPolicy::ReservedSegments { sub_pages: 2048 }),
+            (
+                "reserved-2MB",
+                AllocPolicy::ReservedSegments { sub_pages: 512 },
+            ),
+            (
+                "reserved-8MB",
+                AllocPolicy::ReservedSegments { sub_pages: 2048 },
+            ),
         ] {
             let mut kernel = Kernel::new(PHYS_BYTES, policy);
             let mut wl = spec.instantiate(&mut kernel, 91).expect("instantiate");
@@ -26,7 +32,9 @@ fn main() {
             let mut sim = SystemSim::new(
                 kernel,
                 SystemConfig::isca2016(),
-                TranslationScheme::HybridManySegment { segment_cache: true },
+                TranslationScheme::HybridManySegment {
+                    segment_cache: true,
+                },
             );
             let r = sim.run(&mut wl, refs);
             let kernel = sim.kernel();
@@ -35,8 +43,11 @@ fn main() {
             // touch: eager commits everything up front; reservation
             // commits only what was touched (so utilization ≈ 100%).
             let committed = space.eager_allocated_bytes();
-            let planned_touched: f64 =
-                spec.regions.iter().map(|rg| rg.len as f64 * rg.touch_frac).sum();
+            let planned_touched: f64 = spec
+                .regions
+                .iter()
+                .map(|rg| rg.len as f64 * rg.touch_frac)
+                .sum();
             let util = if committed == 0 {
                 0.0
             } else {
@@ -55,7 +66,14 @@ fn main() {
 
     print_table(
         "Ablation: eager vs reservation-based segment allocation",
-        &["workload:policy", "segments", "committed", "utilization", "IPC", "rebuilds"],
+        &[
+            "workload:policy",
+            "segments",
+            "committed",
+            "utilization",
+            "IPC",
+            "rebuilds",
+        ],
         &rows,
     );
     println!("\nExpected shape: reservation recovers the stranded memory of");

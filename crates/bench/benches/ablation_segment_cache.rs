@@ -15,9 +15,10 @@ fn main() {
     let mut rows = Vec::new();
 
     for &entries in &[0usize, 16, 64, 128, 256, 512] {
-        let mut kernel =
-            Kernel::new(PHYS_BYTES, AllocPolicy::EagerSegments { split: 4 });
-        let mut wl = apps::memcached().instantiate(&mut kernel, 5).expect("instantiate");
+        let mut kernel = Kernel::new(PHYS_BYTES, AllocPolicy::EagerSegments { split: 4 });
+        let mut wl = apps::memcached()
+            .instantiate(&mut kernel, 5)
+            .expect("instantiate");
         let mut tr = ManySegmentTranslator::new(
             SegmentCache::new(entries, Cycles::new(2)),
             IndexCache::isca2016(),
@@ -37,7 +38,11 @@ fn main() {
             }
         }
         let (h, m) = tr.sc_stats();
-        let hit_rate = if h + m > 0 { h as f64 / (h + m) as f64 } else { 0.0 };
+        let hit_rate = if h + m > 0 {
+            h as f64 / (h + m) as f64
+        } else {
+            0.0
+        };
         rows.push(vec![
             entries.to_string(),
             pct(hit_rate),

@@ -25,7 +25,9 @@ fn main() {
             let mut sim = SystemSim::new(
                 kernel,
                 config,
-                TranslationScheme::HybridManySegment { segment_cache: true },
+                TranslationScheme::HybridManySegment {
+                    segment_cache: true,
+                },
             );
             sim.warm_up(&mut wl, refs / 2);
             let r = sim.run(&mut wl, refs);
@@ -47,7 +49,15 @@ fn main() {
 
     print_table(
         "Ablation: serial vs parallel delayed translation (many-segment + SC)",
-        &["workload", "IPC serial", "IPC parallel", "Δperf", "µJ serial", "µJ parallel", "Δenergy"],
+        &[
+            "workload",
+            "IPC serial",
+            "IPC parallel",
+            "Δperf",
+            "µJ serial",
+            "µJ parallel",
+            "Δenergy",
+        ],
         &rows,
     );
     println!("\nExpected shape: parallel buys a small latency win at a large translation-");

@@ -45,24 +45,58 @@ fn run_mix(
 fn main() {
     let refs = refs_per_run(400_000);
     let mixes: Vec<(&str, Vec<WorkloadSpec>)> = vec![
-        ("zipf-heavy", vec![apps::xalancbmk(), apps::omnetpp(), apps::astar(), apps::memcached()]),
-        ("mixed", vec![apps::gups(256 << 20), apps::omnetpp(), apps::stream(), apps::npb_cg()]),
-        ("index-walkers", vec![apps::tigr(), apps::mummer(), apps::xalancbmk(), apps::canneal()]),
+        (
+            "zipf-heavy",
+            vec![
+                apps::xalancbmk(),
+                apps::omnetpp(),
+                apps::astar(),
+                apps::memcached(),
+            ],
+        ),
+        (
+            "mixed",
+            vec![
+                apps::gups(256 << 20),
+                apps::omnetpp(),
+                apps::stream(),
+                apps::npb_cg(),
+            ],
+        ),
+        (
+            "index-walkers",
+            vec![
+                apps::tigr(),
+                apps::mummer(),
+                apps::xalancbmk(),
+                apps::canneal(),
+            ],
+        ),
     ];
 
     let mut rows = Vec::new();
     for (name, mix) in &mixes {
-        let base = run_mix(mix, TranslationScheme::Baseline, AllocPolicy::DemandPaging, refs, false);
+        let base = run_mix(
+            mix,
+            TranslationScheme::Baseline,
+            AllocPolicy::DemandPaging,
+            refs,
+            false,
+        );
         let hyb = run_mix(
             mix,
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
             AllocPolicy::EagerSegments { split: 1 },
             refs,
             false,
         );
         let hyb_if = run_mix(
             mix,
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
             AllocPolicy::EagerSegments { split: 1 },
             refs,
             true,
@@ -77,7 +111,12 @@ fn main() {
 
     print_table(
         "Extension: 4-core multiprogrammed mixes (aggregate IPC, normalized)",
-        &["mix", "baseline IPC", "hyb+manyseg", "hyb+manyseg (+ifetch)"],
+        &[
+            "mix",
+            "baseline IPC",
+            "hyb+manyseg",
+            "hyb+manyseg (+ifetch)",
+        ],
         &rows,
     );
     println!("\nFour cores share one LLC and the delayed translation structures. The");

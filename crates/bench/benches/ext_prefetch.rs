@@ -18,14 +18,25 @@ fn main() {
     let refs = refs_per_run(400_000);
     let mut rows = Vec::new();
 
-    for spec in [apps::milc(), apps::stream(), apps::npb_cg(), apps::gups(256 << 20)] {
+    for spec in [
+        apps::milc(),
+        apps::stream(),
+        apps::npb_cg(),
+        apps::gups(256 << 20),
+    ] {
         let mut cells = vec![spec.name.clone()];
         let mut base_ipc = 0.0;
         for (scheme, policy, prefetch) in [
-            (TranslationScheme::Baseline, AllocPolicy::DemandPaging, false),
+            (
+                TranslationScheme::Baseline,
+                AllocPolicy::DemandPaging,
+                false,
+            ),
             (TranslationScheme::Baseline, AllocPolicy::DemandPaging, true),
             (
-                TranslationScheme::HybridManySegment { segment_cache: true },
+                TranslationScheme::HybridManySegment {
+                    segment_cache: true,
+                },
                 AllocPolicy::EagerSegments { split: 1 },
                 true,
             ),

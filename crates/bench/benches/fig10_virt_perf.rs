@@ -61,7 +61,10 @@ fn main() {
         rows.push(row);
     }
     let mut geo_row = vec!["geomean".to_string()];
-    geo_row.extend(geo.iter().map(|g| ratio((g / workloads.len() as f64).exp())));
+    geo_row.extend(
+        geo.iter()
+            .map(|g| ratio((g / workloads.len() as f64).exp())),
+    );
     rows.push(geo_row);
 
     let headers: Vec<&str> = std::iter::once("workload")

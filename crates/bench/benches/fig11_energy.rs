@@ -19,7 +19,12 @@ fn main() {
     let mut sum_seg = 0.0;
 
     let mut workloads = apps::synonym_set();
-    workloads.extend([apps::mcf(), apps::omnetpp(), apps::astar(), apps::gups(256 << 20)]);
+    workloads.extend([
+        apps::mcf(),
+        apps::omnetpp(),
+        apps::astar(),
+        apps::gups(256 << 20),
+    ]);
 
     for spec in &workloads {
         let warm = refs / 2;
@@ -43,7 +48,9 @@ fn main() {
         );
         let (seg, _) = run_native_warm(
             spec,
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
             AllocPolicy::EagerSegments { split: 1 },
             SystemConfig::isca2016(),
             warm,

@@ -24,11 +24,8 @@ const SIZES: &[u64] = &[128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 655
 /// sharing a kernel; returns the hit rate per index-cache size.
 fn run_apps(specs: &[WorkloadSpec], refs: usize) -> Vec<f64> {
     // Fragment each allocation into 10 segments, as the paper does.
-    let mut kernel = Kernel::with_segment_capacity(
-        PHYS_BYTES,
-        AllocPolicy::EagerSegments { split: 10 },
-        8192,
-    );
+    let mut kernel =
+        Kernel::with_segment_capacity(PHYS_BYTES, AllocPolicy::EagerSegments { split: 10 }, 8192);
     let mut insts: Vec<_> = specs
         .iter()
         .map(|s| s.instantiate(&mut kernel, 53).expect("instantiate"))
@@ -64,7 +61,10 @@ fn run_apps(specs: &[WorkloadSpec], refs: usize) -> Vec<f64> {
             }
         }
     }
-    caches.iter().map(|c| c.stats().hit_rate().unwrap_or(0.0)).collect()
+    caches
+        .iter()
+        .map(|c| c.stats().hit_rate().unwrap_or(0.0))
+        .collect()
 }
 
 /// Synthetic worst case: `n` segments spread evenly over 40-bit space,
@@ -100,7 +100,10 @@ fn run_worst_case(n: usize, probes: usize) -> Vec<f64> {
             }
         }
     }
-    caches.iter().map(|c| c.stats().hit_rate().unwrap_or(0.0)).collect()
+    caches
+        .iter()
+        .map(|c| c.stats().hit_rate().unwrap_or(0.0))
+        .collect()
 }
 
 fn main() {
@@ -118,7 +121,12 @@ fn main() {
     let mut rows = Vec::new();
 
     // (a) single-threaded applications.
-    let singles = [apps::xalancbmk(), apps::omnetpp(), apps::astar(), apps::memcached()];
+    let singles = [
+        apps::xalancbmk(),
+        apps::omnetpp(),
+        apps::astar(),
+        apps::memcached(),
+    ];
     let mut single_avg = vec![0.0; SIZES.len()];
     for s in &singles {
         let rates = run_apps(std::slice::from_ref(s), refs);
@@ -139,9 +147,24 @@ fn main() {
 
     // (b) 4-way multiprogrammed mixes.
     let mixes: Vec<Vec<WorkloadSpec>> = vec![
-        vec![apps::xalancbmk(), apps::omnetpp(), apps::astar(), apps::memcached()],
-        vec![apps::tigr(), apps::mummer(), apps::xalancbmk(), apps::canneal()],
-        vec![apps::memcached(), apps::tigr(), apps::omnetpp(), apps::npb_cg()],
+        vec![
+            apps::xalancbmk(),
+            apps::omnetpp(),
+            apps::astar(),
+            apps::memcached(),
+        ],
+        vec![
+            apps::tigr(),
+            apps::mummer(),
+            apps::xalancbmk(),
+            apps::canneal(),
+        ],
+        vec![
+            apps::memcached(),
+            apps::tigr(),
+            apps::omnetpp(),
+            apps::npb_cg(),
+        ],
     ];
     let mut multi_avg = vec![0.0; SIZES.len()];
     for (i, mix) in mixes.iter().enumerate() {

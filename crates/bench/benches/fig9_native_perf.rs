@@ -15,19 +15,43 @@ use hvc_workloads::apps;
 fn main() {
     let refs = refs_per_run(1_000_000);
     let schemes: Vec<(&str, TranslationScheme, AllocPolicy)> = vec![
-        ("baseline", TranslationScheme::Baseline, AllocPolicy::DemandPaging),
-        ("dTLB-1k", TranslationScheme::HybridDelayedTlb(1024), AllocPolicy::DemandPaging),
-        ("dTLB-4k", TranslationScheme::HybridDelayedTlb(4096), AllocPolicy::DemandPaging),
-        ("dTLB-32k", TranslationScheme::HybridDelayedTlb(32768), AllocPolicy::DemandPaging),
-        ("enigma-4k", TranslationScheme::EnigmaDelayedTlb(4096), AllocPolicy::DemandPaging),
+        (
+            "baseline",
+            TranslationScheme::Baseline,
+            AllocPolicy::DemandPaging,
+        ),
+        (
+            "dTLB-1k",
+            TranslationScheme::HybridDelayedTlb(1024),
+            AllocPolicy::DemandPaging,
+        ),
+        (
+            "dTLB-4k",
+            TranslationScheme::HybridDelayedTlb(4096),
+            AllocPolicy::DemandPaging,
+        ),
+        (
+            "dTLB-32k",
+            TranslationScheme::HybridDelayedTlb(32768),
+            AllocPolicy::DemandPaging,
+        ),
+        (
+            "enigma-4k",
+            TranslationScheme::EnigmaDelayedTlb(4096),
+            AllocPolicy::DemandPaging,
+        ),
         (
             "manyseg",
-            TranslationScheme::HybridManySegment { segment_cache: false },
+            TranslationScheme::HybridManySegment {
+                segment_cache: false,
+            },
             AllocPolicy::EagerSegments { split: 1 },
         ),
         (
             "manyseg+SC",
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
             AllocPolicy::EagerSegments { split: 1 },
         ),
         ("ideal", TranslationScheme::Ideal, AllocPolicy::DemandPaging),

@@ -61,7 +61,11 @@ fn bench_index_tree(c: &mut Criterion) {
         b.iter(|| {
             i = (i * 6364136223846793005).wrapping_add(1442695040888963407);
             touched.clear();
-            black_box(tree.lookup(Asid::new(1), VirtAddr::new(i % (2048 * 0x100_0000)), &mut touched))
+            black_box(tree.lookup(
+                Asid::new(1),
+                VirtAddr::new(i % (2048 * 0x100_0000)),
+                &mut touched,
+            ))
         })
     });
 }
@@ -69,13 +73,21 @@ fn bench_index_tree(c: &mut Criterion) {
 fn bench_hierarchy(c: &mut Criterion) {
     let mut h = Hierarchy::new(HierarchyConfig::isca2016(1));
     for i in 0..512u64 {
-        h.access(0, BlockName::Virt(Asid::new(1), LineAddr::new(i)), AccessKind::Read);
+        h.access(
+            0,
+            BlockName::Virt(Asid::new(1), LineAddr::new(i)),
+            AccessKind::Read,
+        );
     }
     c.bench_function("hierarchy_l1_hit", |b| {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 512;
-            black_box(h.access(0, BlockName::Virt(Asid::new(1), LineAddr::new(i)), AccessKind::Read))
+            black_box(h.access(
+                0,
+                BlockName::Virt(Asid::new(1), LineAddr::new(i)),
+                AccessKind::Read,
+            ))
         })
     });
 }

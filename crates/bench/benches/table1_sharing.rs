@@ -68,8 +68,17 @@ fn main() {
 
     print_table(
         "Table I: r/w shared memory area and accesses to shared regions",
-        &["workload", "shared area", "(paper)", "shared access", "(paper)"],
+        &[
+            "workload",
+            "shared area",
+            "(paper)",
+            "shared access",
+            "(paper)",
+        ],
         &rows,
     );
-    println!("\n({} references per workload; set HVC_REFS to change)", refs);
+    println!(
+        "\n({} references per workload; set HVC_REFS to change)",
+        refs
+    );
 }

@@ -44,10 +44,10 @@ fn main() {
             23,
         );
 
-        let fp_rate = hyb.translation.false_positives as f64 / hyb.translation.filter_lookups as f64;
+        let fp_rate =
+            hyb.translation.false_positives as f64 / hyb.translation.filter_lookups as f64;
         let access_reduction = 1.0
-            - hyb.translation.synonym_tlb_lookups as f64
-                / base.translation.l1_tlb_lookups as f64;
+            - hyb.translation.synonym_tlb_lookups as f64 / base.translation.l1_tlb_lookups as f64;
         let base_misses = base.baseline_tlb_misses.max(1);
         let miss_reduction = 1.0 - hyb.translation.total_tlb_misses() as f64 / base_misses as f64;
 
@@ -80,5 +80,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\n({} references per workload per scheme; set HVC_REFS to change)", refs);
+    println!(
+        "\n({} references per workload per scheme; set HVC_REFS to change)",
+        refs
+    );
 }

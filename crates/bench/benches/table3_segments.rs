@@ -42,7 +42,11 @@ fn main() {
         // fraction (the run-measured value converges to it).
         let planned: f64 = {
             let total: u64 = spec.regions.iter().map(|r| r.len).sum();
-            let touched: f64 = spec.regions.iter().map(|r| r.len as f64 * r.touch_frac).sum();
+            let touched: f64 = spec
+                .regions
+                .iter()
+                .map(|r| r.len as f64 * r.touch_frac)
+                .sum();
             touched / total as f64
         };
 
@@ -59,9 +63,7 @@ fn main() {
         &["workload", "segments", "RMM MPKI", "utilization"],
         &rows,
     );
-    println!(
-        "\nExpected shape: stream/gups ≈ 1 segment, MPKI ≈ 0, full utilization;"
-    );
+    println!("\nExpected shape: stream/gups ≈ 1 segment, MPKI ≈ 0, full utilization;");
     println!("tigr/xalancbmk/memcached tens of segments with non-zero RMM MPKI;");
     println!("cactus/memcached leave a large fraction of eager memory untouched.");
     println!("({refs} references per workload; set HVC_REFS to change)");

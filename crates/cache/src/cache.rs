@@ -1,9 +1,9 @@
 //! A single set-associative cache level keyed by [`BlockName`].
 
 use crate::{CacheConfig, LevelStats};
-use hvc_types::{Asid, BlockName, Permissions, PAGE_SHIFT};
 #[cfg(test)]
 use hvc_types::LineAddr;
+use hvc_types::{Asid, BlockName, Permissions, PAGE_SHIFT};
 
 /// An evicted line returned to the caller for writeback handling.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +97,10 @@ impl Cache {
     /// Returns the permission bits cached with `name`, if present.
     pub fn permissions(&self, name: BlockName) -> Option<Permissions> {
         let idx = self.set_index(name);
-        self.sets[idx].iter().find(|l| l.name == name).map(|l| l.perm)
+        self.sets[idx]
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| l.perm)
     }
 
     /// Inserts `name` (filling after a miss); returns the victim if the
@@ -127,9 +130,18 @@ impl Cache {
             if old.dirty {
                 self.stats.writebacks += 1;
             }
-            victim = Some(Victim { name: old.name, dirty: old.dirty });
+            victim = Some(Victim {
+                name: old.name,
+                dirty: old.dirty,
+            });
         }
-        set.push(Line { name, dirty, perm, lru: tick, sharers: 0 });
+        set.push(Line {
+            name,
+            dirty,
+            perm,
+            lru: tick,
+            sharers: 0,
+        });
         victim
     }
 
@@ -141,7 +153,10 @@ impl Cache {
         if let Some(pos) = set.iter().position(|l| l.name == name) {
             let old = set.swap_remove(pos);
             self.stats.invalidations += 1;
-            Some(Victim { name: old.name, dirty: old.dirty })
+            Some(Victim {
+                name: old.name,
+                dirty: old.dirty,
+            })
         } else {
             None
         }
@@ -182,7 +197,10 @@ impl Cache {
         self.retain_update(|l| {
             if page_of(l.name) == Some((asid, vpage)) {
                 if l.dirty {
-                    victims.push(Victim { name: l.name, dirty: true });
+                    victims.push(Victim {
+                        name: l.name,
+                        dirty: true,
+                    });
                 }
                 false
             } else {
@@ -199,7 +217,10 @@ impl Cache {
         self.retain_update(|l| {
             if l.name.asid() == Some(asid) {
                 if l.dirty {
-                    victims.push(Victim { name: l.name, dirty: true });
+                    victims.push(Victim {
+                        name: l.name,
+                        dirty: true,
+                    });
                 }
                 false
             } else {
@@ -318,7 +339,13 @@ mod tests {
         c.fill(v(1, 0), true, Permissions::RW);
         c.fill(v(1, 2), false, Permissions::RW);
         let victim = c.fill(v(1, 4), false, Permissions::RW).unwrap();
-        assert_eq!(victim, Victim { name: v(1, 0), dirty: true });
+        assert_eq!(
+            victim,
+            Victim {
+                name: v(1, 0),
+                dirty: true
+            }
+        );
         assert_eq!(c.stats().writebacks, 1);
     }
 

@@ -22,9 +22,16 @@ impl CacheConfig {
     /// Panics if `size_bytes` is not a multiple of `ways * 64` or the
     /// resulting set count is not a power of two.
     pub fn new(size_bytes: u64, ways: usize, latency: Cycles) -> Self {
-        let c = CacheConfig { size_bytes, ways, latency };
+        let c = CacheConfig {
+            size_bytes,
+            ways,
+            latency,
+        };
         let sets = c.sets();
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         c
     }
 

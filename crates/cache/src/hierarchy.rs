@@ -47,9 +47,15 @@ impl Hierarchy {
     /// Creates an empty hierarchy.
     pub fn new(config: HierarchyConfig) -> Self {
         Hierarchy {
-            l1i: (0..config.cores).map(|_| Cache::new(config.l1i.clone())).collect(),
-            l1d: (0..config.cores).map(|_| Cache::new(config.l1d.clone())).collect(),
-            l2: (0..config.cores).map(|_| Cache::new(config.l2.clone())).collect(),
+            l1i: (0..config.cores)
+                .map(|_| Cache::new(config.l1i.clone()))
+                .collect(),
+            l1d: (0..config.cores)
+                .map(|_| Cache::new(config.l1d.clone()))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| Cache::new(config.l2.clone()))
+                .collect(),
             llc: Cache::new(config.llc.clone()),
             config,
             coherence_invalidations: 0,
@@ -93,16 +99,28 @@ impl Hierarchy {
         };
 
         // L1.
-        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        let l1 = if kind.is_fetch() {
+            &mut self.l1i[core]
+        } else {
+            &mut self.l1d[core]
+        };
         if l1.access(name, write) {
-            return AccessResult { hit_level: Some(0), latency, llc_victim: None };
+            return AccessResult {
+                hit_level: Some(0),
+                latency,
+                llc_victim: None,
+            };
         }
 
         // L2.
         latency += self.config.l2.latency;
         if self.l2[core].access(name, write) {
             self.fill_l1(core, kind, name, write, perm);
-            return AccessResult { hit_level: Some(1), latency, llc_victim: None };
+            return AccessResult {
+                hit_level: Some(1),
+                latency,
+                llc_victim: None,
+            };
         }
 
         // LLC.
@@ -110,12 +128,20 @@ impl Hierarchy {
         if self.llc.access(name, write) {
             self.fill_private(core, kind, name, write, perm);
             self.llc.add_sharer(name, core);
-            return AccessResult { hit_level: Some(2), latency, llc_victim: None };
+            return AccessResult {
+                hit_level: Some(2),
+                latency,
+                llc_victim: None,
+            };
         }
 
         // Miss everywhere: fill bottom-up, maintaining inclusion.
         let llc_victim = self.fill_miss(core, kind, name, write, perm);
-        AccessResult { hit_level: None, latency, llc_victim }
+        AccessResult {
+            hit_level: None,
+            latency,
+            llc_victim,
+        }
     }
 
     /// Accesses with default read-write permissions.
@@ -137,25 +163,45 @@ impl Hierarchy {
         } else {
             self.config.l1d.latency
         };
-        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        let l1 = if kind.is_fetch() {
+            &mut self.l1i[core]
+        } else {
+            &mut self.l1d[core]
+        };
         if l1.access(name, write) {
-            return AccessResult { hit_level: Some(0), latency, llc_victim: None };
+            return AccessResult {
+                hit_level: Some(0),
+                latency,
+                llc_victim: None,
+            };
         }
         latency += self.config.l2.latency;
         if self.l2[core].access(name, write) {
             // Promote with the permissions already cached at L2.
             let perm = self.l2[core].permissions(name).unwrap_or(Permissions::RW);
             self.fill_l1(core, kind, name, write, perm);
-            return AccessResult { hit_level: Some(1), latency, llc_victim: None };
+            return AccessResult {
+                hit_level: Some(1),
+                latency,
+                llc_victim: None,
+            };
         }
         latency += self.config.llc.latency;
         if self.llc.access(name, write) {
             let perm = self.llc.permissions(name).unwrap_or(Permissions::RW);
             self.fill_private(core, kind, name, write, perm);
             self.llc.add_sharer(name, core);
-            return AccessResult { hit_level: Some(2), latency, llc_victim: None };
+            return AccessResult {
+                hit_level: Some(2),
+                latency,
+                llc_victim: None,
+            };
         }
-        AccessResult { hit_level: None, latency, llc_victim: None }
+        AccessResult {
+            hit_level: None,
+            latency,
+            llc_victim: None,
+        }
     }
 
     /// Installs a block after a complete miss (memory returned the data),
@@ -251,8 +297,19 @@ impl Hierarchy {
 
     // --- internals ---
 
-    fn fill_l1(&mut self, core: usize, kind: AccessKind, name: BlockName, dirty: bool, perm: Permissions) {
-        let l1 = if kind.is_fetch() { &mut self.l1i[core] } else { &mut self.l1d[core] };
+    fn fill_l1(
+        &mut self,
+        core: usize,
+        kind: AccessKind,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+    ) {
+        let l1 = if kind.is_fetch() {
+            &mut self.l1i[core]
+        } else {
+            &mut self.l1d[core]
+        };
         if let Some(v) = l1.fill(name, dirty, perm) {
             if v.dirty {
                 // Write-back into L2 (inclusive: the line is resident there).
@@ -261,7 +318,14 @@ impl Hierarchy {
         }
     }
 
-    fn fill_private(&mut self, core: usize, kind: AccessKind, name: BlockName, dirty: bool, perm: Permissions) {
+    fn fill_private(
+        &mut self,
+        core: usize,
+        kind: AccessKind,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+    ) {
         if let Some(v) = self.l2[core].fill(name, dirty, perm) {
             // L2 victim: its dirty state merges into the (inclusive) LLC;
             // also evict from L1s to keep L2⊇L1 inclusion simple.
@@ -285,7 +349,10 @@ impl Hierarchy {
                 dirty_above |= v.dirty;
             }
         }
-        let victim = Victim { name: victim.name, dirty: victim.dirty || dirty_above };
+        let victim = Victim {
+            name: victim.name,
+            dirty: victim.dirty || dirty_above,
+        };
         if victim.dirty {
             self.memory_writebacks += 1;
         }
@@ -339,7 +406,10 @@ mod tests {
     }
 
     fn tiny(cores: usize) -> Hierarchy {
-        Hierarchy::new(HierarchyConfig { cores, ..HierarchyConfig::test_tiny() })
+        Hierarchy::new(HierarchyConfig {
+            cores,
+            ..HierarchyConfig::test_tiny()
+        })
     }
 
     #[test]
@@ -396,7 +466,11 @@ mod tests {
         let s = h.stats();
         // Core 0 re-reads: must not hit its L1 (invalidated).
         let r0 = h.access(0, p(0), AccessKind::Read);
-        assert!(r0.hit_level >= Some(2), "copy must come from LLC, got {:?}", r0.hit_level);
+        assert!(
+            r0.hit_level >= Some(2),
+            "copy must come from LLC, got {:?}",
+            r0.hit_level
+        );
         assert!(s.coherence_invalidations >= 1);
     }
 

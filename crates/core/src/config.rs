@@ -55,8 +55,7 @@ impl TranslationScheme {
     pub fn is_hybrid(self) -> bool {
         matches!(
             self,
-            TranslationScheme::HybridDelayedTlb(_)
-                | TranslationScheme::HybridManySegment { .. }
+            TranslationScheme::HybridDelayedTlb(_) | TranslationScheme::HybridManySegment { .. }
         )
     }
 
@@ -166,7 +165,10 @@ mod tests {
     #[test]
     fn scheme_classification() {
         assert!(TranslationScheme::HybridDelayedTlb(1024).is_hybrid());
-        assert!(TranslationScheme::HybridManySegment { segment_cache: true }.is_hybrid());
+        assert!(TranslationScheme::HybridManySegment {
+            segment_cache: true
+        }
+        .is_hybrid());
         assert!(!TranslationScheme::Baseline.is_hybrid());
         assert!(!TranslationScheme::Ideal.is_hybrid());
         assert!(!TranslationScheme::EnigmaDelayedTlb(1024).is_hybrid());

@@ -52,9 +52,15 @@ impl EnergyModel {
     }
 
     /// Computes the translation-energy breakdown for a run.
-    pub fn breakdown(&self, c: &TranslationCounters, delayed_tlb_entries: usize) -> EnergyBreakdown {
-        let delayed_pj =
-            self.delayed_tlb_per_k_pj * ((delayed_tlb_entries.max(1) as f64) / 1024.0).sqrt().max(0.25);
+    pub fn breakdown(
+        &self,
+        c: &TranslationCounters,
+        delayed_tlb_entries: usize,
+    ) -> EnergyBreakdown {
+        let delayed_pj = self.delayed_tlb_per_k_pj
+            * ((delayed_tlb_entries.max(1) as f64) / 1024.0)
+                .sqrt()
+                .max(0.25);
         EnergyBreakdown {
             l1_tlb: c.l1_tlb_lookups as f64 * self.l1_tlb_pj,
             l2_tlb: c.l2_tlb_lookups as f64 * self.l2_tlb_pj,
@@ -147,7 +153,10 @@ mod tests {
     #[test]
     fn delayed_tlb_energy_scales_with_size() {
         let m = EnergyModel::cacti_32nm();
-        let c = TranslationCounters { delayed_tlb_lookups: 1000, ..Default::default() };
+        let c = TranslationCounters {
+            delayed_tlb_lookups: 1000,
+            ..Default::default()
+        };
         let small = m.breakdown(&c, 1024).delayed_tlb;
         let large = m.breakdown(&c, 32 * 1024).delayed_tlb;
         assert!(large > small * 3.0 && large < small * 8.0);
@@ -155,7 +164,11 @@ mod tests {
 
     #[test]
     fn total_sums_components() {
-        let b = EnergyBreakdown { l1_tlb: 1.0, filter: 2.0, ..Default::default() };
+        let b = EnergyBreakdown {
+            l1_tlb: 1.0,
+            filter: 2.0,
+            ..Default::default()
+        };
         assert!((b.total() - 3.0).abs() < 1e-12);
     }
 }

@@ -249,7 +249,9 @@ impl VirtSystemSim {
         if r.llc_miss() {
             let now = self.core.now() + lat;
             lat += self.dram.access_latency(now, ma, kind.is_write());
-            let victim = self.hierarchy.fill_miss(0, kind, name, kind.is_write(), Permissions::RW);
+            let victim = self
+                .hierarchy
+                .fill_miss(0, kind, name, kind.is_write(), Permissions::RW);
             if let Some(v) = victim {
                 self.write_back(v.name);
             }
@@ -266,7 +268,9 @@ impl VirtSystemSim {
             lat += tlat;
             let now = self.core.now() + lat;
             lat += self.dram.access_latency(now, ma, kind.is_write());
-            let victim = self.hierarchy.fill_miss(0, kind, name, kind.is_write(), perm);
+            let victim = self
+                .hierarchy
+                .fill_miss(0, kind, name, kind.is_write(), perm);
             if let Some(v) = victim {
                 self.write_back(v.name);
             }
@@ -294,7 +298,13 @@ impl VirtSystemSim {
     ) -> (PhysAddr, Cycles, Permissions) {
         if self.nested_segments.is_some() {
             let host_key = self.hv.host_segment_key(self.vmid).expect("VM exists");
-            let Self { nested_segments, dram, core, counters, .. } = self;
+            let Self {
+                nested_segments,
+                dram,
+                core,
+                counters,
+                ..
+            } = self;
             let ns = nested_segments.as_mut().expect("checked");
             let now = core.now();
             counters.sc_lookups += 1;
@@ -345,7 +355,16 @@ impl VirtSystemSim {
     ) -> (hvc_virt::NestedPte, Cycles) {
         self.nested_walks += 1;
         self.ensure_backed(asid, vaddr, kind);
-        let Self { walker, hv, hierarchy, dram, core, counters, vmid, .. } = self;
+        let Self {
+            walker,
+            hv,
+            hierarchy,
+            dram,
+            core,
+            counters,
+            vmid,
+            ..
+        } = self;
         let now = core.now();
         walker
             .walk(hv, *vmid, asid, vaddr.page_number(), |addr| {
@@ -377,7 +396,8 @@ impl VirtSystemSim {
                 self.hierarchy.flush_virt_page(a, vpn);
                 self.syn_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
                 self.gva_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
-                self.delayed_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
+                self.delayed_tlb
+                    .flush_page(a, hvc_types::VirtPage::new(vpn));
             }
         }
         // Machine backing for the guest PT pages and the data page.
@@ -403,8 +423,7 @@ impl VirtSystemSim {
             BlockName::Virt(asid, line) => {
                 self.counters.writeback_translations += 1;
                 let vaddr = VirtAddr::new(line.base_raw());
-                let (ma, _, _) =
-                    self.delayed_translate_inner(asid, vaddr, AccessKind::Read, false);
+                let (ma, _, _) = self.delayed_translate_inner(asid, vaddr, AccessKind::Read, false);
                 ma
             }
         };
@@ -517,7 +536,8 @@ mod tests {
         let wl = apps::gups(4 << 20).instantiate(gk, 5).unwrap();
         let asid = wl.procs()[0].asid;
         // The hypervisor shares the first guest page r/w with the host.
-        hv.share_rw_with_host(vm, VirtAddr::new(0x1000_0000)).unwrap();
+        hv.share_rw_with_host(vm, VirtAddr::new(0x1000_0000))
+            .unwrap();
         let mut sim = VirtSystemSim::new(
             hv,
             vm,
@@ -526,14 +546,14 @@ mod tests {
         )
         .unwrap();
         // Drive an access directly at the shared page.
-        let item = hvc_types::TraceItem::new(
-            0,
-            MemRef::read(asid, VirtAddr::new(0x1000_0040)),
-        );
+        let item = hvc_types::TraceItem::new(0, MemRef::read(asid, VirtAddr::new(0x1000_0040)));
         sim.step(item, 1);
         let r = sim.report();
         assert_eq!(r.translation.filter_candidates, 1);
-        assert_eq!(r.translation.shared_accesses, 1, "host-induced synonym → PA path");
+        assert_eq!(
+            r.translation.shared_accesses, 1,
+            "host-induced synonym → PA path"
+        );
         // A private page is not a candidate.
         let _ = wl;
     }

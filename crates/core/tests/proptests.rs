@@ -36,7 +36,12 @@ fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
         })
 }
 
-fn run(spec: &WorkloadSpec, scheme: TranslationScheme, policy: AllocPolicy, seed: u64) -> hvc_core::RunReport {
+fn run(
+    spec: &WorkloadSpec,
+    scheme: TranslationScheme,
+    policy: AllocPolicy,
+    seed: u64,
+) -> hvc_core::RunReport {
     let mut kernel = Kernel::new(1 << 30, policy);
     let mut wl = spec.instantiate(&mut kernel, seed).unwrap();
     let mut sim = SystemSim::new(kernel, SystemConfig::isca2016(), scheme);

@@ -37,7 +37,10 @@ impl BloomFilter {
             granularity_shift + INDEX_BITS <= VIRT_ADDR_BITS,
             "granularity leaves too few bits to hash"
         );
-        BloomFilter { words: [0; BLOOM_BITS / 64], granularity_shift }
+        BloomFilter {
+            words: [0; BLOOM_BITS / 64],
+            granularity_shift,
+        }
     }
 
     /// Returns the granularity shift.
@@ -164,7 +167,9 @@ mod tests {
         let mut differing = 0;
         let mut x = 0x9e37_79b9_7f4a_7c15u64; // LCG over the full VA space
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let va = VirtAddr::new(x);
             let [a, b] = f.indices(va);
             assert!((a as usize) < BLOOM_BITS);

@@ -112,8 +112,9 @@ mod tests {
     #[test]
     fn no_false_negatives_over_many_inserts() {
         let mut f = SynonymFilter::new();
-        let pages: Vec<VirtAddr> =
-            (0..500).map(|i| VirtAddr::new(i * 0x1000 + 0x5555_0000_0000)).collect();
+        let pages: Vec<VirtAddr> = (0..500)
+            .map(|i| VirtAddr::new(i * 0x1000 + 0x5555_0000_0000))
+            .collect();
         for &p in &pages {
             f.insert_page(p);
         }

@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn channel_interleaving_spreads_lines() {
-        let cfg = DramConfig { channels: 2, ..DramConfig::test_tiny() };
+        let cfg = DramConfig {
+            channels: 2,
+            ..DramConfig::test_tiny()
+        };
         let d = Dram::new(cfg);
         let (b0, _) = d.map(PhysAddr::new(0));
         let (b1, _) = d.map(PhysAddr::new(64));
@@ -173,12 +176,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one channel")]
     fn zero_channels_rejected() {
-        let _ = Dram::new(DramConfig { channels: 0, ..DramConfig::test_tiny() });
+        let _ = Dram::new(DramConfig {
+            channels: 0,
+            ..DramConfig::test_tiny()
+        });
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_row_size_rejected() {
-        let _ = Dram::new(DramConfig { row_bytes: 100, ..DramConfig::test_tiny() });
+        let _ = Dram::new(DramConfig {
+            row_bytes: 100,
+            ..DramConfig::test_tiny()
+        });
     }
 }

@@ -173,7 +173,8 @@ mod tests {
     #[test]
     fn vma_lookup() {
         let (_b, mut s) = space();
-        s.vmas.insert(0x1000, vma(0x1000, 0x2000, VmaBacking::Private));
+        s.vmas
+            .insert(0x1000, vma(0x1000, 0x2000, VmaBacking::Private));
         assert!(s.vma(VirtAddr::new(0x1000)).is_some());
         assert!(s.vma(VirtAddr::new(0x2fff)).is_some());
         assert!(s.vma(VirtAddr::new(0x3000)).is_none());
@@ -183,7 +184,8 @@ mod tests {
     #[test]
     fn overlap_detection() {
         let (_b, mut s) = space();
-        s.vmas.insert(0x2000, vma(0x2000, 0x2000, VmaBacking::Private));
+        s.vmas
+            .insert(0x2000, vma(0x2000, 0x2000, VmaBacking::Private));
         assert!(s.overlaps(VirtAddr::new(0x3000), 0x1000));
         assert!(s.overlaps(VirtAddr::new(0x1000), 0x1001));
         assert!(!s.overlaps(VirtAddr::new(0x1000), 0x1000));
@@ -193,10 +195,16 @@ mod tests {
     #[test]
     fn sharing_accounting() {
         let (_b, mut s) = space();
-        s.vmas.insert(0x1000, vma(0x1000, 0x4000, VmaBacking::Private));
-        s.vmas.insert(0x10000, vma(0x10000, 0x2000, VmaBacking::Shared(ShmId(0))));
-        s.vmas.insert(0x20000, vma(0x20000, 0x1000, VmaBacking::SharedRo(ShmId(1))));
-        s.vmas.insert(0x30000, vma(0x30000, 0x1000, VmaBacking::Dma));
+        s.vmas
+            .insert(0x1000, vma(0x1000, 0x4000, VmaBacking::Private));
+        s.vmas
+            .insert(0x10000, vma(0x10000, 0x2000, VmaBacking::Shared(ShmId(0))));
+        s.vmas.insert(
+            0x20000,
+            vma(0x20000, 0x1000, VmaBacking::SharedRo(ShmId(1))),
+        );
+        s.vmas
+            .insert(0x30000, vma(0x30000, 0x1000, VmaBacking::Dma));
         assert_eq!(s.rw_shared_pages(), 2 + 1, "shm + dma count, r/o does not");
         assert_eq!(s.total_vma_pages(), 4 + 2 + 1 + 1);
     }

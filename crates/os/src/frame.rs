@@ -56,7 +56,11 @@ impl BuddyAllocator {
         );
         let total_frames = bytes >> PAGE_SHIFT;
         let free: Vec<BTreeSet<u64>> = (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect();
-        let mut alloc = BuddyAllocator { free, total_frames, free_frames: 0 };
+        let mut alloc = BuddyAllocator {
+            free,
+            total_frames,
+            free_frames: 0,
+        };
         alloc.free_exact(base, total_frames);
         alloc
     }
@@ -135,7 +139,11 @@ impl BuddyAllocator {
         let mut cursor = base.as_u64();
         let end = cursor + n;
         while cursor < end {
-            let align_order = if cursor == 0 { MAX_ORDER } else { cursor.trailing_zeros().min(MAX_ORDER) };
+            let align_order = if cursor == 0 {
+                MAX_ORDER
+            } else {
+                cursor.trailing_zeros().min(MAX_ORDER)
+            };
             let mut o = align_order;
             while (1u64 << o) > end - cursor {
                 o -= 1;
@@ -185,7 +193,9 @@ impl BuddyAllocator {
         let mut cursor = base.as_u64();
         let end = cursor + n;
         while cursor < end {
-            let (o, b) = self.covering_free_block(cursor).expect("checked by is_run_free");
+            let (o, b) = self
+                .covering_free_block(cursor)
+                .expect("checked by is_run_free");
             self.free[o as usize].remove(&b);
             self.free_frames -= 1u64 << o;
             let block_end = b + (1u64 << o);
@@ -329,7 +339,10 @@ mod tests {
     fn zero_and_oversize_exact_rejected() {
         let mut b = BuddyAllocator::new(gib(1));
         assert!(matches!(b.alloc_exact(0), Err(HvcError::BadConfig(_))));
-        assert!(matches!(b.alloc_exact(1 << 19), Err(HvcError::BadConfig(_))));
+        assert!(matches!(
+            b.alloc_exact(1 << 19),
+            Err(HvcError::BadConfig(_))
+        ));
     }
 
     #[test]

@@ -140,7 +140,10 @@ impl Kernel {
     /// Panics if `phys_bytes` is not page aligned or not larger than the
     /// metadata reservation.
     pub fn new(phys_bytes: u64, policy: AllocPolicy) -> Self {
-        assert!(phys_bytes > Self::META_BYTES, "need more than the metadata reservation");
+        assert!(
+            phys_bytes > Self::META_BYTES,
+            "need more than the metadata reservation"
+        );
         let user_base = hvc_types::PhysFrame::new(Self::META_BYTES >> PAGE_SHIFT);
         Kernel {
             frames: BuddyAllocator::with_base(user_base, phys_bytes - Self::META_BYTES),
@@ -197,7 +200,8 @@ impl Kernel {
             return Err(HvcError::BadId("ASID already in use"));
         }
         let pt = PageTable::new(&mut self.meta_frames)?;
-        self.spaces.insert(asid.as_u16(), AddressSpace::new(asid, pt));
+        self.spaces
+            .insert(asid.as_u16(), AddressSpace::new(asid, pt));
         Ok(())
     }
 
@@ -266,7 +270,8 @@ impl Kernel {
                     }
                     None => {
                         // Never committed: free the reserved frames.
-                        self.frames.free_exact(r.base_frame.offset(sub_start), sub_len);
+                        self.frames
+                            .free_exact(r.base_frame.offset(sub_start), sub_len);
                     }
                 }
             }
@@ -286,7 +291,10 @@ impl Kernel {
             frames.push(self.frames.alloc_frame()?);
         }
         let id = ShmId(self.shm.len() as u32);
-        self.shm.push(ShmObject { frames, attachments: 0 });
+        self.shm.push(ShmObject {
+            frames,
+            attachments: 0,
+        });
         Ok(id)
     }
 
@@ -322,7 +330,11 @@ impl Kernel {
             .get(&asid.as_u16())
             .ok_or(HvcError::BadId("unknown ASID"))?;
         if space.overlaps(va, len) {
-            return Err(HvcError::RegionOverlap { asid, vaddr: va, len });
+            return Err(HvcError::RegionOverlap {
+                asid,
+                vaddr: va,
+                len,
+            });
         }
 
         let backing = match intent {
@@ -331,7 +343,13 @@ impl Kernel {
             MapIntent::SharedRo(id) => VmaBacking::SharedRo(id),
             MapIntent::Dma => VmaBacking::Dma,
         };
-        let mut vma = Vma { start: va, len, perm, backing, segments: Vec::new() };
+        let mut vma = Vma {
+            start: va,
+            len,
+            perm,
+            backing,
+            segments: Vec::new(),
+        };
 
         match intent {
             MapIntent::Shared(id) | MapIntent::SharedRo(id) => {
@@ -451,7 +469,12 @@ impl Kernel {
                     }
                 }
             }
-            return Err(HvcError::PermissionFault { asid, vaddr: va, held: pte.perm, required });
+            return Err(HvcError::PermissionFault {
+                asid,
+                vaddr: va,
+                held: pte.perm,
+                required,
+            });
         }
 
         // Page-table miss: find the VMA and demand-allocate.
@@ -460,7 +483,12 @@ impl Kernel {
             .ok_or(HvcError::Unmapped { asid, vaddr: va })?;
         if !vma.perm.allows(required) {
             let held = vma.perm;
-            return Err(HvcError::PermissionFault { asid, vaddr: va, held, required });
+            return Err(HvcError::PermissionFault {
+                asid,
+                vaddr: va,
+                held,
+                required,
+            });
         }
         debug_assert!(
             matches!(vma.backing, VmaBacking::Private),
@@ -474,7 +502,11 @@ impl Kernel {
             }
         }
         let frame = self.frames.alloc_frame()?;
-        let pte = Pte { frame, perm, shared: false };
+        let pte = Pte {
+            frame,
+            perm,
+            shared: false,
+        };
         let space = self.spaces.get_mut(&asid.as_u16()).expect("checked");
         space.page_table.map(&mut self.meta_frames, vpage, pte)?;
         self.stats.minor_faults += 1;
@@ -484,7 +516,12 @@ impl Kernel {
     /// Reserves contiguous physical backing for a private VMA without
     /// committing it (ReservedSegments policy). Regions larger than the
     /// maximum buddy block are reserved in max-block chunks.
-    fn reserve_private(&mut self, asid: Asid, vma: &crate::addrspace::Vma, sub_pages: u64) -> Result<()> {
+    fn reserve_private(
+        &mut self,
+        asid: Asid,
+        vma: &crate::addrspace::Vma,
+        sub_pages: u64,
+    ) -> Result<()> {
         let total = vma.len >> PAGE_SHIFT;
         let mut done = 0u64;
         while done < total {
@@ -526,15 +563,26 @@ impl Kernel {
             let sub_start = r.start_vpn + sub_idx as u64 * r.sub_pages;
             let sub_len = r.sub_pages.min(r.start_vpn + r.pages - sub_start);
             let sub_frame = r.base_frame.offset(sub_start - r.start_vpn);
-            let left_seg = if sub_idx > 0 { r.committed[sub_idx - 1] } else { None };
+            let left_seg = if sub_idx > 0 {
+                r.committed[sub_idx - 1]
+            } else {
+                None
+            };
             let right_seg = r.committed.get(sub_idx + 1).copied().flatten();
             (sub_idx, sub_start, sub_len, sub_frame, left_seg, right_seg)
         };
 
         // Map the sub-segment's pages.
         for i in 0..sub_len {
-            let pte = Pte { frame: sub_frame.offset(i), perm, shared: false };
-            let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+            let pte = Pte {
+                frame: sub_frame.offset(i),
+                perm,
+                shared: false,
+            };
+            let space = self
+                .spaces
+                .get_mut(&asid.as_u16())
+                .expect("checked by caller");
             space
                 .page_table
                 .map(&mut self.meta_frames, VirtPage::new(sub_start + i), pte)?;
@@ -565,11 +613,8 @@ impl Kernel {
                 l
             }
             (None, Some(r)) => {
-                self.segments.extend_down(
-                    r,
-                    VirtPage::new(sub_start).base(),
-                    sub_frame.base(),
-                )?;
+                self.segments
+                    .extend_down(r, VirtPage::new(sub_start).base(), sub_frame.base())?;
                 r
             }
             (None, None) => self.segments.insert(
@@ -580,10 +625,17 @@ impl Kernel {
             )?,
         };
         self.reservations[ridx].committed[sub_idx] = Some(seg_id);
-        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .expect("checked by caller");
         space.eager_allocated += sub_len << PAGE_SHIFT;
         let off = vpn - sub_start;
-        Ok(Some(Pte { frame: sub_frame.offset(off), perm, shared: false }))
+        Ok(Some(Pte {
+            frame: sub_frame.offset(off),
+            perm,
+            shared: false,
+        }))
     }
 
     /// Read-path convenience wrapper over [`Kernel::touch`].
@@ -617,7 +669,8 @@ impl Kernel {
             pte.shared = true;
             space.filter.insert_page(va);
             self.stats.filter_insertions += 1;
-            self.flush_queue.push(FlushRequest::Page(asid, vpage.as_u64()));
+            self.flush_queue
+                .push(FlushRequest::Page(asid, vpage.as_u64()));
             self.stats.flushed_pages += 1;
             self.stats.shootdowns += 1;
         }
@@ -700,7 +753,9 @@ impl Kernel {
     pub fn shm_phys_addr(&self, id: crate::ShmId, offset: u64) -> Option<hvc_types::PhysAddr> {
         let obj = self.shm.get(id.0 as usize)?;
         let frame = obj.frames.get((offset >> PAGE_SHIFT) as usize)?;
-        Some(hvc_types::PhysAddr::new(frame.base().as_u64() + (offset & (PAGE_SIZE - 1))))
+        Some(hvc_types::PhysAddr::new(
+            frame.base().as_u64() + (offset & (PAGE_SIZE - 1)),
+        ))
     }
 
     /// Enigma-style first-level translation (Section II of the paper):
@@ -768,12 +823,23 @@ impl Kernel {
         }
         let frames: Vec<_> = obj.frames[..pages as usize].to_vec();
         let first = vma.start.page_number();
-        let effective_perm = if read_only { perm.downgraded_read_only() } else { perm };
+        let effective_perm = if read_only {
+            perm.downgraded_read_only()
+        } else {
+            perm
+        };
         for (i, frame) in frames.into_iter().enumerate() {
             let vp = first.offset(i as u64);
             // R/w shared pages are synonyms; r/o content mappings are not.
-            let pte = Pte { frame, perm: effective_perm, shared: !read_only };
-            let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+            let pte = Pte {
+                frame,
+                perm: effective_perm,
+                shared: !read_only,
+            };
+            let space = self
+                .spaces
+                .get_mut(&asid.as_u16())
+                .expect("checked by caller");
             space.page_table.map(&mut self.meta_frames, vp, pte)?;
             if !read_only {
                 space.filter.insert_page(vp.base());
@@ -794,9 +860,18 @@ impl Kernel {
         let base = self.frames.alloc_exact(pages)?;
         let first = vma.start.page_number();
         for i in 0..pages {
-            let pte = Pte { frame: base.offset(i), perm, shared: true };
-            let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
-            space.page_table.map(&mut self.meta_frames, first.offset(i), pte)?;
+            let pte = Pte {
+                frame: base.offset(i),
+                perm,
+                shared: true,
+            };
+            let space = self
+                .spaces
+                .get_mut(&asid.as_u16())
+                .expect("checked by caller");
+            space
+                .page_table
+                .map(&mut self.meta_frames, first.offset(i), pte)?;
             space.filter.insert_page(first.offset(i).base());
             self.stats.filter_insertions += 1;
         }
@@ -823,16 +898,28 @@ impl Kernel {
             let first_vp = piece_va.page_number();
             let first_frame = seg.translate(piece_va).frame_number();
             for i in 0..pages {
-                let pte = Pte { frame: first_frame.offset(i), perm, shared: false };
-                let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
-                space.page_table.map(&mut self.meta_frames, first_vp.offset(i), pte)?;
+                let pte = Pte {
+                    frame: first_frame.offset(i),
+                    perm,
+                    shared: false,
+                };
+                let space = self
+                    .spaces
+                    .get_mut(&asid.as_u16())
+                    .expect("checked by caller");
+                space
+                    .page_table
+                    .map(&mut self.meta_frames, first_vp.offset(i), pte)?;
             }
             if !vma.segments.contains(&seg_id) {
                 vma.segments.push(seg_id);
             }
             mapped += pages;
         }
-        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .expect("checked by caller");
         space.eager_allocated += vma.len;
         Ok(())
     }
@@ -850,7 +937,10 @@ impl Kernel {
         if allow_extend {
             if let Some(&last) = self.last_segment.get(&asid.as_u16()) {
                 if let Some(seg) = self.segments.get(last).copied() {
-                    let phys_next = seg.translate(seg.base + (seg.len - 1)).frame_number().offset(1);
+                    let phys_next = seg
+                        .translate(seg.base + (seg.len - 1))
+                        .frame_number()
+                        .offset(1);
                     if seg.end() == va && self.frames.is_run_free(phys_next, pages) {
                         self.frames.claim_run(phys_next, pages)?;
                         self.segments.grow(last, seg.len + (pages << PAGE_SHIFT))?;
@@ -860,28 +950,33 @@ impl Kernel {
             }
         }
         let base_frame = self.frames.alloc_exact(pages)?;
-        let id = self.segments.insert(
-            asid,
-            va,
-            pages << PAGE_SHIFT,
-            base_frame.base(),
-        )?;
+        let id = self
+            .segments
+            .insert(asid, va, pages << PAGE_SHIFT, base_frame.base())?;
         self.last_segment.insert(asid.as_u16(), id);
         Ok(id)
     }
 
     fn break_cow(&mut self, asid: Asid, va: VirtAddr) -> Result<Pte> {
         let frame = self.frames.alloc_frame()?;
-        let space = self.spaces.get_mut(&asid.as_u16()).expect("checked by caller");
+        let space = self
+            .spaces
+            .get_mut(&asid.as_u16())
+            .expect("checked by caller");
         let vpage = va.page_number();
         let old = space
             .page_table
             .lookup(vpage)
             .ok_or(HvcError::Unmapped { asid, vaddr: va })?;
-        let pte = Pte { frame, perm: old.perm | Permissions::RW, shared: false };
+        let pte = Pte {
+            frame,
+            perm: old.perm | Permissions::RW,
+            shared: false,
+        };
         space.page_table.map(&mut self.meta_frames, vpage, pte)?;
         // The stale r/o lines (old name, old perm) must be flushed.
-        self.flush_queue.push(FlushRequest::Page(asid, vpage.as_u64()));
+        self.flush_queue
+            .push(FlushRequest::Page(asid, vpage.as_u64()));
         self.stats.flushed_pages += 1;
         self.stats.cow_breaks += 1;
         self.stats.shootdowns += 1;
@@ -907,8 +1002,14 @@ mod tests {
     fn demand_paging_allocates_on_touch() {
         let mut k = demand_kernel();
         let asid = k.create_process().unwrap();
-        k.mmap(asid, VirtAddr::new(0x10000), 0x4000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            asid,
+            VirtAddr::new(0x10000),
+            0x4000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         assert_eq!(k.space(asid).unwrap().mapped_pages(), 0);
         let pte = k.translate_touch(asid, VirtAddr::new(0x10040)).unwrap();
         assert!(!pte.shared);
@@ -933,15 +1034,24 @@ mod tests {
     fn eager_policy_populates_and_registers_segment() {
         let mut k = eager_kernel();
         let asid = k.create_process().unwrap();
-        k.mmap(asid, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            asid,
+            VirtAddr::new(0x100000),
+            0x10000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         let space = k.space(asid).unwrap();
         assert_eq!(space.mapped_pages(), 16, "pages populated eagerly");
         assert_eq!(k.segments().count_asid(asid), 1);
         let seg = k.segments().find(asid, VirtAddr::new(0x104000)).unwrap();
         assert_eq!(seg.len, 0x10000);
         // Segment translation matches the page table.
-        let pte = k.walk(asid, VirtAddr::new(0x104000).page_number()).unwrap().0;
+        let pte = k
+            .walk(asid, VirtAddr::new(0x104000).page_number())
+            .unwrap()
+            .0;
         assert_eq!(
             seg.translate(VirtAddr::new(0x104000)).frame_number(),
             pte.frame
@@ -953,12 +1063,24 @@ mod tests {
     fn contiguous_growth_extends_segment_in_place() {
         let mut k = eager_kernel();
         let asid = k.create_process().unwrap();
-        k.mmap(asid, VirtAddr::new(0x100000), 0x4000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            asid,
+            VirtAddr::new(0x100000),
+            0x4000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         // Next mmap is VA-contiguous; the frames after the segment are
         // still free, so it should extend rather than add a segment.
-        k.mmap(asid, VirtAddr::new(0x104000), 0x4000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            asid,
+            VirtAddr::new(0x104000),
+            0x4000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         assert_eq!(k.segments().count_asid(asid), 1);
         let seg = k.segments().iter_asid(asid).next().unwrap();
         assert_eq!(seg.len, 0x8000);
@@ -968,8 +1090,14 @@ mod tests {
     fn split_policy_breaks_allocation_into_pieces() {
         let mut k = Kernel::new(GIB, AllocPolicy::EagerSegments { split: 4 });
         let asid = k.create_process().unwrap();
-        k.mmap(asid, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            asid,
+            VirtAddr::new(0x100000),
+            0x10000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         assert_eq!(k.segments().count_asid(asid), 4);
     }
 
@@ -979,20 +1107,44 @@ mod tests {
         let a = k.create_process().unwrap();
         let b = k.create_process().unwrap();
         let shm = k.shm_create(0x2000).unwrap();
-        k.mmap(a, VirtAddr::new(0x7000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
-            .unwrap();
-        k.mmap(b, VirtAddr::new(0x9000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x7000_0000),
+            0x2000,
+            Permissions::RW,
+            MapIntent::Shared(shm),
+        )
+        .unwrap();
+        k.mmap(
+            b,
+            VirtAddr::new(0x9000_0000),
+            0x2000,
+            Permissions::RW,
+            MapIntent::Shared(shm),
+        )
+        .unwrap();
         let pa = k.translate_touch(a, VirtAddr::new(0x7000_0000)).unwrap();
         let pb = k.translate_touch(b, VirtAddr::new(0x9000_0000)).unwrap();
         assert_eq!(pa.frame, pb.frame, "same physical frame — a synonym");
         assert!(pa.shared && pb.shared);
         // Both filters report the candidate at their own VA.
-        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
-        assert!(k.space(b).unwrap().filter.is_candidate(VirtAddr::new(0x9000_0000)));
+        assert!(k
+            .space(a)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x7000_0000)));
+        assert!(k
+            .space(b)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x9000_0000)));
         // And not at unrelated addresses (modulo false positives, which
         // these values do not trigger).
-        assert!(!k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x1234_0000)));
+        assert!(!k
+            .space(a)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x1234_0000)));
     }
 
     #[test]
@@ -1000,14 +1152,22 @@ mod tests {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
         let shm = k.shm_create(0x1000).unwrap();
-        k.mmap(a, VirtAddr::new(0x5000_0000), 0x1000, Permissions::RW, MapIntent::SharedRo(shm))
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x5000_0000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::SharedRo(shm),
+        )
+        .unwrap();
         let pte = k.translate_touch(a, VirtAddr::new(0x5000_0000)).unwrap();
         assert!(!pte.shared, "r/o content sharing is served virtually");
         assert!(!pte.perm.is_writable());
         let before = pte.frame;
         // Write: COW break to a fresh private frame.
-        let pte2 = k.touch(a, VirtAddr::new(0x5000_0000), AccessKind::Write).unwrap();
+        let pte2 = k
+            .touch(a, VirtAddr::new(0x5000_0000), AccessKind::Write)
+            .unwrap();
         assert_ne!(pte2.frame, before);
         assert!(pte2.perm.is_writable());
         assert_eq!(k.stats().cow_breaks, 1);
@@ -1019,25 +1179,48 @@ mod tests {
     fn dma_pages_are_synonyms() {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x8000_0000), 0x2000, Permissions::RW, MapIntent::Dma)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x8000_0000),
+            0x2000,
+            Permissions::RW,
+            MapIntent::Dma,
+        )
+        .unwrap();
         let pte = k.translate_touch(a, VirtAddr::new(0x8000_0000)).unwrap();
         assert!(pte.shared);
-        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x8000_0000)));
+        assert!(k
+            .space(a)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x8000_0000)));
     }
 
     #[test]
     fn mark_page_shared_transition() {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x1000_0000), 0x1000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x1000_0000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         k.translate_touch(a, VirtAddr::new(0x1000_0000)).unwrap();
         k.drain_flush_requests();
         k.mark_page_shared(a, VirtAddr::new(0x1000_0000)).unwrap();
-        let pte = k.walk(a, VirtAddr::new(0x1000_0000).page_number()).unwrap().0;
+        let pte = k
+            .walk(a, VirtAddr::new(0x1000_0000).page_number())
+            .unwrap()
+            .0;
         assert!(pte.shared);
-        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x1000_0000)));
+        assert!(k
+            .space(a)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x1000_0000)));
         let reqs = k.drain_flush_requests();
         assert_eq!(reqs, vec![FlushRequest::Page(a, 0x10000)]);
         // Idempotent: re-marking does not flush again.
@@ -1049,8 +1232,14 @@ mod tests {
     fn permission_fault_on_disallowed_access() {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x2000_0000), 0x1000, Permissions::READ, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x2000_0000),
+            0x1000,
+            Permissions::READ,
+            MapIntent::Private,
+        )
+        .unwrap();
         assert!(matches!(
             k.touch(a, VirtAddr::new(0x2000_0000), AccessKind::Write),
             Err(HvcError::PermissionFault { .. })
@@ -1061,8 +1250,14 @@ mod tests {
     fn munmap_frees_and_flushes() {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x3000_0000), 0x2000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x3000_0000),
+            0x2000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         k.translate_touch(a, VirtAddr::new(0x3000_0000)).unwrap();
         k.translate_touch(a, VirtAddr::new(0x3000_1000)).unwrap();
         let free_before = k.free_frames();
@@ -1082,15 +1277,19 @@ mod tests {
     fn destroy_process_releases_resources() {
         let mut k = eager_kernel();
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x100000),
+            0x10000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         assert_eq!(k.segments().len(), 1);
         k.destroy_process(a).unwrap();
         assert_eq!(k.segments().len(), 0);
         assert!(k.space(a).is_none());
-        assert!(k
-            .drain_flush_requests()
-            .contains(&FlushRequest::Space(a)));
+        assert!(k.drain_flush_requests().contains(&FlushRequest::Space(a)));
     }
 
     #[test]
@@ -1098,13 +1297,27 @@ mod tests {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
         let shm = k.shm_create(0x1000).unwrap();
-        k.mmap(a, VirtAddr::new(0x7000_0000), 0x1000, Permissions::RW, MapIntent::Shared(shm))
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x7000_0000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Shared(shm),
+        )
+        .unwrap();
         // Unmap the shared region: the filter still has its (stale) bits.
         k.munmap(a, VirtAddr::new(0x7000_0000)).unwrap();
-        assert!(k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+        assert!(k
+            .space(a)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x7000_0000)));
         k.rebuild_filter(a).unwrap();
-        assert!(!k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+        assert!(!k
+            .space(a)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x7000_0000)));
         assert_eq!(k.stats().filter_rebuilds, 1);
     }
 
@@ -1112,14 +1325,32 @@ mod tests {
     fn overlapping_mmap_rejected() {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x1000), 0x2000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x1000),
+            0x2000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         assert!(matches!(
-            k.mmap(a, VirtAddr::new(0x2000), 0x1000, Permissions::RW, MapIntent::Private),
+            k.mmap(
+                a,
+                VirtAddr::new(0x2000),
+                0x1000,
+                Permissions::RW,
+                MapIntent::Private
+            ),
             Err(HvcError::RegionOverlap { .. })
         ));
         assert!(matches!(
-            k.mmap(a, VirtAddr::new(0x1800), 0x1000, Permissions::RW, MapIntent::Private),
+            k.mmap(
+                a,
+                VirtAddr::new(0x1800),
+                0x1000,
+                Permissions::RW,
+                MapIntent::Private
+            ),
             Err(HvcError::BadConfig(_))
         ));
     }
@@ -1128,8 +1359,14 @@ mod tests {
     fn reserved_policy_commits_on_touch_and_merges_left() {
         let mut k = Kernel::new(GIB, AllocPolicy::ReservedSegments { sub_pages: 4 });
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x100000), 0x10000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x100000),
+            0x10000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         // Reservation made, nothing committed yet.
         assert_eq!(k.space(a).unwrap().mapped_pages(), 0);
         assert_eq!(k.segments().count_asid(a), 0);
@@ -1167,8 +1404,14 @@ mod tests {
         // sub-segments count.
         let mut k = Kernel::new(GIB, AllocPolicy::ReservedSegments { sub_pages: 8 });
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x100000), 0x100000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x100000),
+            0x100000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         k.translate_touch(a, VirtAddr::new(0x100000)).unwrap();
         let space = k.space(a).unwrap();
         assert_eq!(space.eager_allocated_bytes(), 8 * 0x1000);
@@ -1184,7 +1427,8 @@ mod tests {
         for i in 0..3u64 {
             let shm = k.shm_create(0x40_000).unwrap();
             let va = VirtAddr::new(0x7000_0000 + i * 0x100_0000);
-            k.mmap(a, va, 0x40_000, Permissions::RW, MapIntent::Shared(shm)).unwrap();
+            k.mmap(a, va, 0x40_000, Permissions::RW, MapIntent::Shared(shm))
+                .unwrap();
             k.munmap(a, va).unwrap();
         }
         // 3 × 64 pages unmapped > 64-page threshold → at least one rebuild.
@@ -1192,15 +1436,25 @@ mod tests {
         // After the final rebuild(s), fully-unmapped addresses are clean
         // once the last rebuild has happened.
         k.rebuild_filter(a).unwrap();
-        assert!(!k.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
+        assert!(!k
+            .space(a)
+            .unwrap()
+            .filter
+            .is_candidate(VirtAddr::new(0x7000_0000)));
     }
 
     #[test]
     fn walk_returns_path_for_hardware_walker() {
         let mut k = demand_kernel();
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x1000), 0x1000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x1000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         k.translate_touch(a, VirtAddr::new(0x1000)).unwrap();
         let (pte, path) = k.walk(a, VirtAddr::new(0x1000).page_number()).unwrap();
         assert!(pte.perm.allows(Permissions::READ));

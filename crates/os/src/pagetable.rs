@@ -56,8 +56,14 @@ impl PageTable {
     ///
     /// Returns [`hvc_types::HvcError::OutOfMemory`] if no frame is free.
     pub fn new(frames: &mut BuddyAllocator) -> Result<Self> {
-        let root = Node { frame: frames.alloc_frame()?, children: HashMap::new() };
-        Ok(PageTable { nodes: vec![root], leaves: HashMap::new() })
+        let root = Node {
+            frame: frames.alloc_frame()?,
+            children: HashMap::new(),
+        };
+        Ok(PageTable {
+            nodes: vec![root],
+            leaves: HashMap::new(),
+        })
     }
 
     /// Installs or replaces the mapping for `vpage`.
@@ -77,7 +83,10 @@ impl PageTable {
                 None => {
                     let frame = frames.alloc_frame()?;
                     let child = self.nodes.len();
-                    self.nodes.push(Node { frame, children: HashMap::new() });
+                    self.nodes.push(Node {
+                        frame,
+                        children: HashMap::new(),
+                    });
                     self.nodes[node].children.insert(idx, child);
                     child
                 }
@@ -147,7 +156,9 @@ impl PageTable {
 
     /// Iterates over `(vpage, pte)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (VirtPage, Pte)> + '_ {
-        self.leaves.iter().map(|(&vpn, &pte)| (VirtPage::new(vpn), pte))
+        self.leaves
+            .iter()
+            .map(|(&vpn, &pte)| (VirtPage::new(vpn), pte))
     }
 
     /// Frames used by interior nodes (page-table overhead accounting).
@@ -172,7 +183,11 @@ mod tests {
     }
 
     fn pte(frame: u64) -> Pte {
-        Pte { frame: PhysFrame::new(frame), perm: Permissions::RW, shared: false }
+        Pte {
+            frame: PhysFrame::new(frame),
+            perm: Permissions::RW,
+            shared: false,
+        }
     }
 
     #[test]

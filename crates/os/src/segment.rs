@@ -114,11 +114,21 @@ impl SegmentTable {
         phys_base: PhysAddr,
     ) -> Result<SegmentId> {
         if self.overlaps(asid, base, len) {
-            return Err(HvcError::RegionOverlap { asid, vaddr: base, len });
+            return Err(HvcError::RegionOverlap {
+                asid,
+                vaddr: base,
+                len,
+            });
         }
         let raw = self.free_ids.pop().ok_or(HvcError::SegmentTableFull)?;
         let id = SegmentId(raw);
-        let seg = Segment { id, asid, base, len, phys_base };
+        let seg = Segment {
+            id,
+            asid,
+            base,
+            len,
+            phys_base,
+        };
         let key = (asid.as_u16(), base.as_u64());
         self.by_key.insert(key, seg);
         self.by_id[raw as usize] = Some(key);
@@ -353,7 +363,10 @@ mod tests {
         t.grow(id, 0x3000).unwrap();
         assert!(t.find(a(1), va(0x3fff)).is_some());
         // Growing into the next segment fails.
-        assert!(matches!(t.grow(id, 0x8000), Err(HvcError::RegionOverlap { .. })));
+        assert!(matches!(
+            t.grow(id, 0x8000),
+            Err(HvcError::RegionOverlap { .. })
+        ));
         assert!(matches!(t.grow(SegmentId(99), 1), Err(HvcError::BadId(_))));
     }
 
@@ -363,8 +376,10 @@ mod tests {
         t.insert(a(2), va(0x1000), 0x1000, pa(0)).unwrap();
         t.insert(a(1), va(0x5000), 0x1000, pa(0)).unwrap();
         t.insert(a(1), va(0x1000), 0x1000, pa(0)).unwrap();
-        let order: Vec<(u16, u64)> =
-            t.iter().map(|s| (s.asid.as_u16(), s.base.as_u64())).collect();
+        let order: Vec<(u16, u64)> = t
+            .iter()
+            .map(|s| (s.asid.as_u16(), s.base.as_u64()))
+            .collect();
         assert_eq!(order, vec![(1, 0x1000), (1, 0x5000), (2, 0x1000)]);
         assert_eq!(t.count_asid(a(1)), 2);
         assert_eq!(t.iter_asid(a(2)).count(), 1);

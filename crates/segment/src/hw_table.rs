@@ -18,7 +18,11 @@ pub struct HwSegmentTable {
 impl HwSegmentTable {
     /// Creates an empty hardware table of `capacity` entries.
     pub fn new(capacity: usize, latency: Cycles) -> Self {
-        HwSegmentTable { entries: vec![None; capacity], latency, fills: 0 }
+        HwSegmentTable {
+            entries: vec![None; capacity],
+            latency,
+            fills: 0,
+        }
     }
 
     /// The paper's configuration: 2048 entries, 7 cycles.
@@ -62,7 +66,12 @@ impl HwSegmentTable {
 
     /// Base/limit check + offset add: translates `va` if segment `id`
     /// covers it.
-    pub fn translate(&self, id: SegmentId, asid: hvc_types::Asid, va: VirtAddr) -> Option<hvc_types::PhysAddr> {
+    pub fn translate(
+        &self,
+        id: SegmentId,
+        asid: hvc_types::Asid,
+        va: VirtAddr,
+    ) -> Option<hvc_types::PhysAddr> {
         let seg = self.get(id)?;
         seg.contains(asid, va).then(|| seg.translate(va))
     }
@@ -75,8 +84,13 @@ mod tests {
 
     fn os_table() -> SegmentTable {
         let mut t = SegmentTable::new(16);
-        t.insert(Asid::new(1), VirtAddr::new(0x10000), 0x4000, PhysAddr::new(0x800000))
-            .unwrap();
+        t.insert(
+            Asid::new(1),
+            VirtAddr::new(0x10000),
+            0x4000,
+            PhysAddr::new(0x800000),
+        )
+        .unwrap();
         t
     }
 

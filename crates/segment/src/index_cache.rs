@@ -101,7 +101,10 @@ impl IndexCache {
                 .expect("non-empty");
             set.swap_remove(slot);
         }
-        set.push(Line { tag: block, lru: tick });
+        set.push(Line {
+            tag: block,
+            lru: tick,
+        });
         false
     }
 

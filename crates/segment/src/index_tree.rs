@@ -58,7 +58,12 @@ impl IndexTree {
         // minimum key for separator construction one level up.
         let mut level: Vec<(usize, u128)> = Vec::new();
         if entries.is_empty() {
-            nodes.push(Node { keys: vec![], children: vec![], entries: vec![], leaf: true });
+            nodes.push(Node {
+                keys: vec![],
+                children: vec![],
+                entries: vec![],
+                leaf: true,
+            });
             level.push((0, 0));
         } else {
             for chunk in entries.chunks(KEYS_PER_NODE) {
@@ -82,13 +87,23 @@ impl IndexTree {
                 let children: Vec<usize> = group.iter().map(|&(idx, _)| idx).collect();
                 let idx = nodes.len();
                 let min = group[0].1;
-                nodes.push(Node { keys, children, entries: vec![], leaf: false });
+                nodes.push(Node {
+                    keys,
+                    children,
+                    entries: vec![],
+                    leaf: false,
+                });
                 next.push((idx, min));
             }
             level = next;
             depth += 1;
         }
-        IndexTree { root: level[0].0, nodes, depth, base }
+        IndexTree {
+            root: level[0].0,
+            nodes,
+            depth,
+            base,
+        }
     }
 
     /// Tree depth (levels from root to leaf, inclusive) — each level is
@@ -167,7 +182,10 @@ mod tests {
     fn empty_tree_finds_nothing() {
         let t = IndexTree::build(&SegmentTable::new(16), PhysAddr::new(0));
         let mut touched = Vec::new();
-        assert_eq!(t.lookup(Asid::new(1), VirtAddr::new(0x1000), &mut touched), None);
+        assert_eq!(
+            t.lookup(Asid::new(1), VirtAddr::new(0x1000), &mut touched),
+            None
+        );
         assert_eq!(touched.len(), 1, "root touched");
         assert_eq!(t.depth(), 1);
     }
@@ -204,14 +222,22 @@ mod tests {
         let table = table_with(5);
         let tree = IndexTree::build(&table, PhysAddr::new(0));
         let mut touched = Vec::new();
-        assert_eq!(tree.lookup(Asid::new(1), VirtAddr::new(0x1000), &mut touched), None);
+        assert_eq!(
+            tree.lookup(Asid::new(1), VirtAddr::new(0x1000), &mut touched),
+            None
+        );
     }
 
     #[test]
     fn asid_ordering_is_respected() {
         let mut table = SegmentTable::new(64);
         table
-            .insert(Asid::new(2), VirtAddr::new(0x1000), 0x1000, PhysAddr::new(0))
+            .insert(
+                Asid::new(2),
+                VirtAddr::new(0x1000),
+                0x1000,
+                PhysAddr::new(0),
+            )
             .unwrap();
         let tree = IndexTree::build(&table, PhysAddr::new(0));
         let mut touched = Vec::new();

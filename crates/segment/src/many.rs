@@ -183,8 +183,14 @@ mod tests {
     fn eager_kernel_with_map() -> (Kernel, Asid) {
         let mut k = Kernel::new(1 << 30, AllocPolicy::EagerSegments { split: 1 });
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x100000), 1 << 20, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x100000),
+            1 << 20,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         (k, a)
     }
 
@@ -240,7 +246,9 @@ mod tests {
     fn uncovered_address_returns_none() {
         let (k, a) = eager_kernel_with_map();
         let mut tr = ManySegmentTranslator::isca2016(k.segments());
-        assert!(tr.translate(a, VirtAddr::new(0x9999_0000), |_| Cycles::new(160)).is_none());
+        assert!(tr
+            .translate(a, VirtAddr::new(0x9999_0000), |_| Cycles::new(160))
+            .is_none());
         assert_eq!(tr.stats().uncovered, 1);
     }
 
@@ -248,11 +256,21 @@ mod tests {
     fn rebuild_tracks_new_segments() {
         let (mut k, a) = eager_kernel_with_map();
         let mut tr = ManySegmentTranslator::isca2016(k.segments());
-        k.mmap(a, VirtAddr::new(0x4000_0000), 0x2000, Permissions::RW, MapIntent::Private)
-            .unwrap();
-        assert!(tr.translate(a, VirtAddr::new(0x4000_0000), |_| Cycles::new(160)).is_none());
+        k.mmap(
+            a,
+            VirtAddr::new(0x4000_0000),
+            0x2000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
+        assert!(tr
+            .translate(a, VirtAddr::new(0x4000_0000), |_| Cycles::new(160))
+            .is_none());
         tr.rebuild(k.segments());
-        assert!(tr.translate(a, VirtAddr::new(0x4000_0000), |_| Cycles::new(160)).is_some());
+        assert!(tr
+            .translate(a, VirtAddr::new(0x4000_0000), |_| Cycles::new(160))
+            .is_some());
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl Rmm {
     pub fn translate(&mut self, asid: Asid, va: VirtAddr) -> Option<PhysAddr> {
         self.tick += 1;
         let tick = self.tick;
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.seg.contains(asid, va))
-        {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seg.contains(asid, va)) {
             e.lru = tick;
             self.stats.hits += 1;
             return Some(e.seg.translate(va));
@@ -89,7 +85,12 @@ impl Rmm {
 
     /// Services a miss by walking the OS table; returns the translation
     /// if a segment covers the address, filling the range TLB.
-    pub fn fill_from(&mut self, table: &SegmentTable, asid: Asid, va: VirtAddr) -> Option<PhysAddr> {
+    pub fn fill_from(
+        &mut self,
+        table: &SegmentTable,
+        asid: Asid,
+        va: VirtAddr,
+    ) -> Option<PhysAddr> {
         let seg = *table.find(asid, va)?;
         self.tick += 1;
         let tick = self.tick;
@@ -170,7 +171,11 @@ mod tests {
             }
             let _ = round;
         }
-        assert_eq!(r.stats().hits, 0, "LRU round-robin over 2× capacity never hits");
+        assert_eq!(
+            r.stats().hits,
+            0,
+            "LRU round-robin over 2× capacity never hits"
+        );
     }
 
     #[test]
@@ -199,6 +204,8 @@ mod tests {
     fn uncovered_address_stays_none() {
         let t = table(1);
         let mut r = Rmm::rmm32();
-        assert!(r.fill_from(&t, Asid::new(1), VirtAddr::new(0x9999_0000)).is_none());
+        assert!(r
+            .fill_from(&t, Asid::new(1), VirtAddr::new(0x9999_0000))
+            .is_none());
     }
 }

@@ -168,7 +168,9 @@ mod tests {
         // Segment covers only the first 4 KB of its 2 MB region.
         let s = seg(0x20_0000, 0x1000, 0x80_0000);
         sc.fill(Asid::new(1), VirtAddr::new(0x20_0000), &s);
-        assert!(sc.translate(Asid::new(1), VirtAddr::new(0x20_0fff)).is_some());
+        assert!(sc
+            .translate(Asid::new(1), VirtAddr::new(0x20_0fff))
+            .is_some());
         assert_eq!(
             sc.translate(Asid::new(1), VirtAddr::new(0x20_1000)),
             None,
@@ -191,8 +193,14 @@ mod tests {
             let s = seg(i << SC_SHIFT, 1 << SC_SHIFT, i << 32);
             sc.fill(Asid::new(1), VirtAddr::new(i << SC_SHIFT), &s);
         }
-        assert_eq!(sc.translate(Asid::new(1), VirtAddr::new(0)), None, "evicted");
-        assert!(sc.translate(Asid::new(1), VirtAddr::new(2 << SC_SHIFT)).is_some());
+        assert_eq!(
+            sc.translate(Asid::new(1), VirtAddr::new(0)),
+            None,
+            "evicted"
+        );
+        assert!(sc
+            .translate(Asid::new(1), VirtAddr::new(2 << SC_SHIFT))
+            .is_some());
     }
 
     #[test]

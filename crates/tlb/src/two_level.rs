@@ -32,7 +32,10 @@ impl TwoLevelTlb {
 
     /// Creates a two-level TLB from explicit configurations.
     pub fn new(l1: TlbConfig, l2: TlbConfig) -> Self {
-        TwoLevelTlb { l1: Tlb::new(l1), l2: Tlb::new(l2) }
+        TwoLevelTlb {
+            l1: Tlb::new(l1),
+            l2: Tlb::new(l2),
+        }
     }
 
     /// Looks up a translation; L2 hits are promoted into L1. Returns the
@@ -102,7 +105,11 @@ mod tests {
     use hvc_types::{Permissions, PhysFrame};
 
     fn pte(frame: u64) -> Pte {
-        Pte { frame: PhysFrame::new(frame), perm: Permissions::RW, shared: false }
+        Pte {
+            frame: PhysFrame::new(frame),
+            perm: Permissions::RW,
+            shared: false,
+        }
     }
 
     #[test]

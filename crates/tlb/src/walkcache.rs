@@ -58,7 +58,10 @@ impl WalkCache {
         for k in 0..3 {
             let region = Self::region(vpage, k);
             let cache = &mut self.caches[k];
-            if let Some(e) = cache.iter_mut().find(|e| e.asid == asid && e.region == region) {
+            if let Some(e) = cache
+                .iter_mut()
+                .find(|e| e.asid == asid && e.region == region)
+            {
                 e.lru = tick;
                 continue;
             }
@@ -70,7 +73,11 @@ impl WalkCache {
                     .expect("non-empty");
                 cache.swap_remove(slot);
             }
-            cache.push(Entry { asid, region, lru: tick });
+            cache.push(Entry {
+                asid,
+                region,
+                lru: tick,
+            });
         }
     }
 

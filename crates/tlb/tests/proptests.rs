@@ -6,7 +6,11 @@ use hvc_types::{Asid, Cycles, Permissions, PhysFrame, VirtAddr, VirtPage, PAGE_S
 use proptest::prelude::*;
 
 fn pte(frame: u64) -> Pte {
-    Pte { frame: PhysFrame::new(frame), perm: Permissions::RW, shared: false }
+    Pte {
+        frame: PhysFrame::new(frame),
+        perm: Permissions::RW,
+        shared: false,
+    }
 }
 
 proptest! {

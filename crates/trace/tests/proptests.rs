@@ -9,10 +9,21 @@ fn item_strategy() -> impl Strategy<Value = TraceItem> {
         any::<u32>(),
         any::<u16>(),
         0u64..(1 << 48),
-        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write), Just(AccessKind::Fetch)],
+        prop_oneof![
+            Just(AccessKind::Read),
+            Just(AccessKind::Write),
+            Just(AccessKind::Fetch)
+        ],
     )
         .prop_map(|(gap, asid, va, kind)| {
-            TraceItem::new(gap, MemRef { asid: Asid::new(asid), vaddr: VirtAddr::new(va), kind })
+            TraceItem::new(
+                gap,
+                MemRef {
+                    asid: Asid::new(asid),
+                    vaddr: VirtAddr::new(va),
+                    kind,
+                },
+            )
         })
 }
 

@@ -59,19 +59,31 @@ impl MemRef {
     /// Creates a data-load reference.
     #[inline]
     pub fn read(asid: Asid, vaddr: VirtAddr) -> Self {
-        MemRef { asid, vaddr, kind: AccessKind::Read }
+        MemRef {
+            asid,
+            vaddr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Creates a data-store reference.
     #[inline]
     pub fn write(asid: Asid, vaddr: VirtAddr) -> Self {
-        MemRef { asid, vaddr, kind: AccessKind::Write }
+        MemRef {
+            asid,
+            vaddr,
+            kind: AccessKind::Write,
+        }
     }
 
     /// Creates an instruction-fetch reference.
     #[inline]
     pub fn fetch(asid: Asid, vaddr: VirtAddr) -> Self {
-        MemRef { asid, vaddr, kind: AccessKind::Fetch }
+        MemRef {
+            asid,
+            vaddr,
+            kind: AccessKind::Fetch,
+        }
     }
 }
 
@@ -137,7 +149,9 @@ impl Trace {
     /// Creates an empty trace with reserved capacity.
     #[inline]
     pub fn with_capacity(n: usize) -> Self {
-        Trace { items: Vec::with_capacity(n) }
+        Trace {
+            items: Vec::with_capacity(n),
+        }
     }
 
     /// Appends an item.
@@ -177,7 +191,9 @@ impl Trace {
 
 impl FromIterator<TraceItem> for Trace {
     fn from_iter<I: IntoIterator<Item = TraceItem>>(iter: I) -> Self {
-        Trace { items: iter.into_iter().collect() }
+        Trace {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 

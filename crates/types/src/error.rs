@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn errors_display_meaningfully() {
-        let e = HvcError::Unmapped { asid: Asid::new(1), vaddr: VirtAddr::new(0x1000) };
+        let e = HvcError::Unmapped {
+            asid: Asid::new(1),
+            vaddr: VirtAddr::new(0x1000),
+        };
         assert_eq!(e.to_string(), "unmapped address 0x1000 in address space 1");
 
         let e = HvcError::PermissionFault {
@@ -100,10 +103,16 @@ mod tests {
         assert!(e.to_string().contains("r--"));
 
         assert_eq!(HvcError::OutOfMemory.to_string(), "out of physical memory");
-        assert!(HvcError::SegmentTableFull.to_string().contains("segment table"));
+        assert!(HvcError::SegmentTableFull
+            .to_string()
+            .contains("segment table"));
         assert!(HvcError::BadId("asid").to_string().contains("asid"));
         assert!(HvcError::BadConfig("ways").to_string().contains("ways"));
-        let e = HvcError::RegionOverlap { asid: Asid::new(1), vaddr: VirtAddr::new(0), len: 4096 };
+        let e = HvcError::RegionOverlap {
+            asid: Asid::new(1),
+            vaddr: VirtAddr::new(0),
+            len: 4096,
+        };
         assert!(e.to_string().contains("overlaps"));
     }
 

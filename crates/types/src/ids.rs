@@ -111,7 +111,10 @@ impl Vmid {
     /// Panics if `raw` does not fit in 6 bits.
     #[inline]
     pub fn new(raw: u8) -> Self {
-        assert!(raw < (1 << VMID_BITS), "VMID {raw} exceeds {VMID_BITS} bits");
+        assert!(
+            raw < (1 << VMID_BITS),
+            "VMID {raw} exceeds {VMID_BITS} bits"
+        );
         Vmid(raw)
     }
 

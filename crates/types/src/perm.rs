@@ -86,9 +86,21 @@ impl fmt::Debug for Permissions {
         write!(
             f,
             "{}{}{}",
-            if self.allows(Permissions::READ) { "r" } else { "-" },
-            if self.allows(Permissions::WRITE) { "w" } else { "-" },
-            if self.allows(Permissions::EXEC) { "x" } else { "-" },
+            if self.allows(Permissions::READ) {
+                "r"
+            } else {
+                "-"
+            },
+            if self.allows(Permissions::WRITE) {
+                "w"
+            } else {
+                "-"
+            },
+            if self.allows(Permissions::EXEC) {
+                "x"
+            } else {
+                "-"
+            },
         )
     }
 }

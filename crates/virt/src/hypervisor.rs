@@ -115,8 +115,11 @@ impl Hypervisor {
                 )?;
                 for i in 0..chunk {
                     let gpa_page = hvc_types::VirtPage::new(done + i);
-                    let pte =
-                        Pte { frame: base.offset(i), perm: Permissions::RW, shared: false };
+                    let pte = Pte {
+                        frame: base.offset(i),
+                        perm: Permissions::RW,
+                        shared: false,
+                    };
                     state.ept.map(&mut self.machine_meta, gpa_page, pte)?;
                 }
                 done += chunk;
@@ -203,7 +206,11 @@ impl Hypervisor {
             return Ok(PhysAddr::new(pte.frame.base().as_u64() + gpa.page_offset()));
         }
         let frame = self.machine.alloc_frame()?;
-        let pte = Pte { frame, perm: Permissions::RW, shared: false };
+        let pte = Pte {
+            frame,
+            perm: Permissions::RW,
+            shared: false,
+        };
         vm.ept.map(&mut self.machine_meta, gpa_page, pte)?;
         self.stats.ept_faults += 1;
         Ok(PhysAddr::new(frame.base().as_u64() + gpa.page_offset()))
@@ -226,22 +233,24 @@ impl Hypervisor {
     /// # Errors
     ///
     /// [`HvcError::BadId`] / [`HvcError::Unmapped`] for unknown targets.
-    pub fn dedup_ro(
-        &mut self,
-        a: (Vmid, GuestPhysAddr),
-        b: (Vmid, GuestPhysAddr),
-    ) -> Result<()> {
+    pub fn dedup_ro(&mut self, a: (Vmid, GuestPhysAddr), b: (Vmid, GuestPhysAddr)) -> Result<()> {
         // Resolve (and if needed create) machine backing for `a`.
         let ma = self.machine_addr(a.0, a.1)?;
         let keep_frame = ma.frame_number();
         // Downgrade a's EPT entry.
-        let vm_a = self.vms.get_mut(&a.0.as_u8()).ok_or(HvcError::BadId("unknown VMID"))?;
+        let vm_a = self
+            .vms
+            .get_mut(&a.0.as_u8())
+            .ok_or(HvcError::BadId("unknown VMID"))?;
         let gpa_page_a = hvc_types::VirtPage::new(a.1.as_u64() >> PAGE_SHIFT);
         if let Some(pte) = vm_a.ept.lookup_mut(gpa_page_a) {
             pte.perm = pte.perm.downgraded_read_only();
         }
         // Point b's EPT entry at the kept frame, r/o; free b's old frame.
-        let vm_b = self.vms.get_mut(&b.0.as_u8()).ok_or(HvcError::BadId("unknown VMID"))?;
+        let vm_b = self
+            .vms
+            .get_mut(&b.0.as_u8())
+            .ok_or(HvcError::BadId("unknown VMID"))?;
         let gpa_page_b = hvc_types::VirtPage::new(b.1.as_u64() >> PAGE_SHIFT);
         let old = vm_b.ept.lookup(gpa_page_b);
         let pte = Pte {
@@ -272,7 +281,11 @@ impl Hypervisor {
             .get_mut(&vmid.as_u8())
             .ok_or(HvcError::BadId("unknown VMID"))?;
         let gpa_page = hvc_types::VirtPage::new(gpa.as_u64() >> PAGE_SHIFT);
-        let pte = Pte { frame, perm: Permissions::RW, shared: false };
+        let pte = Pte {
+            frame,
+            perm: Permissions::RW,
+            shared: false,
+        };
         vm.ept.map(&mut self.machine_meta, gpa_page, pte)?;
         self.stats.cow_breaks += 1;
         Ok(PhysAddr::new(frame.base().as_u64() + gpa.page_offset()))
@@ -335,7 +348,9 @@ mod tests {
 
     fn hv_with_vm() -> (Hypervisor, Vmid, Asid) {
         let mut hv = Hypervisor::new(2 * GIB);
-        let vm = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+        let vm = hv
+            .create_vm(GIB / 2, AllocPolicy::DemandPaging, false)
+            .unwrap();
         let asid = hv.create_guest_process(vm).unwrap();
         (hv, vm, asid)
     }
@@ -350,8 +365,12 @@ mod tests {
     #[test]
     fn two_vms_get_disjoint_machine_frames() {
         let mut hv = Hypervisor::new(2 * GIB);
-        let vm1 = hv.create_vm(GIB / 4, AllocPolicy::DemandPaging, false).unwrap();
-        let vm2 = hv.create_vm(GIB / 4, AllocPolicy::DemandPaging, false).unwrap();
+        let vm1 = hv
+            .create_vm(GIB / 4, AllocPolicy::DemandPaging, false)
+            .unwrap();
+        let vm2 = hv
+            .create_vm(GIB / 4, AllocPolicy::DemandPaging, false)
+            .unwrap();
         let m1 = hv.machine_addr(vm1, GuestPhysAddr::new(0x1000)).unwrap();
         let m2 = hv.machine_addr(vm2, GuestPhysAddr::new(0x1000)).unwrap();
         assert_ne!(m1.frame_number(), m2.frame_number());
@@ -365,8 +384,14 @@ mod tests {
     fn guest_process_memory_reaches_machine_memory() {
         let (mut hv, vm, asid) = hv_with_vm();
         let gk = hv.guest_kernel_mut(vm).unwrap();
-        gk.mmap(asid, VirtAddr::new(0x10000), 0x1000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        gk.mmap(
+            asid,
+            VirtAddr::new(0x10000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         let pte = gk.translate_touch(asid, VirtAddr::new(0x10000)).unwrap();
         let gpa = GuestPhysAddr::new(pte.frame.base().as_u64());
         let ma = hv.machine_addr(vm, gpa).unwrap();
@@ -376,10 +401,15 @@ mod tests {
     #[test]
     fn eager_backing_creates_host_segment_and_full_ept() {
         let mut hv = Hypervisor::new(2 * GIB);
-        let vm = hv.create_vm(128 << 20, AllocPolicy::DemandPaging, true).unwrap();
+        let vm = hv
+            .create_vm(128 << 20, AllocPolicy::DemandPaging, true)
+            .unwrap();
         assert_eq!(hv.host_segments().len(), 1);
         let key = hv.host_segment_key(vm).unwrap();
-        let seg = hv.host_segments().find(key, VirtAddr::new(0x12345)).unwrap();
+        let seg = hv
+            .host_segments()
+            .find(key, VirtAddr::new(0x12345))
+            .unwrap();
         // Segment translation agrees with the EPT.
         let ma_seg = seg.translate(VirtAddr::new(0x12345));
         let ma_ept = hv.machine_addr(vm, GuestPhysAddr::new(0x12345)).unwrap();
@@ -390,8 +420,12 @@ mod tests {
     #[test]
     fn dedup_shares_one_frame_read_only() {
         let mut hv = Hypervisor::new(2 * GIB);
-        let vm1 = hv.create_vm(GIB / 4, AllocPolicy::DemandPaging, false).unwrap();
-        let vm2 = hv.create_vm(GIB / 4, AllocPolicy::DemandPaging, false).unwrap();
+        let vm1 = hv
+            .create_vm(GIB / 4, AllocPolicy::DemandPaging, false)
+            .unwrap();
+        let vm2 = hv
+            .create_vm(GIB / 4, AllocPolicy::DemandPaging, false)
+            .unwrap();
         let g1 = GuestPhysAddr::new(0x5000);
         let g2 = GuestPhysAddr::new(0x9000);
         hv.machine_addr(vm1, g1).unwrap();

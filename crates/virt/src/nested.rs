@@ -132,7 +132,9 @@ impl NestedWalker {
             e.lru = tick;
             self.stats.nested_tlb_hits += 1;
             *latency += Cycles::new(1);
-            return Some(PhysAddr::new(e.machine_frame.base().as_u64() + gpa.page_offset()));
+            return Some(PhysAddr::new(
+                e.machine_frame.base().as_u64() + gpa.page_offset(),
+            ));
         }
         self.stats.nested_tlb_misses += 1;
         let (pte, path) = hv.ept_walk(vmid, gpa)?;
@@ -204,21 +206,40 @@ mod tests {
     /// pages and data page all have machine backing.
     fn setup() -> (Hypervisor, Vmid, Asid, VirtAddr) {
         let mut hv = Hypervisor::new(2 * GIB);
-        let vm = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+        let vm = hv
+            .create_vm(GIB / 2, AllocPolicy::DemandPaging, false)
+            .unwrap();
         let asid = hv.create_guest_process(vm).unwrap();
         let va = VirtAddr::new(0x40_0000);
         let gk = hv.guest_kernel_mut(vm).unwrap();
-        gk.mmap(asid, va, 0x10000, hvc_types::Permissions::RW, MapIntent::Private).unwrap();
+        gk.mmap(
+            asid,
+            va,
+            0x10000,
+            hvc_types::Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         gk.translate_touch(asid, va).unwrap();
         gk.translate_touch(asid, va + 0x1000).unwrap();
         // Establish machine backing for PT pages and data pages.
-        let (gpte, gpath) = hv.guest_kernel(vm).unwrap().walk(asid, va.page_number()).unwrap();
+        let (gpte, gpath) = hv
+            .guest_kernel(vm)
+            .unwrap()
+            .walk(asid, va.page_number())
+            .unwrap();
         for e in gpath {
             hv.machine_addr(vm, GuestPhysAddr::new(e.as_u64())).unwrap();
         }
-        hv.machine_addr(vm, GuestPhysAddr::new(gpte.frame.base().as_u64())).unwrap();
-        let (gpte2, _) = hv.guest_kernel(vm).unwrap().walk(asid, (va + 0x1000).page_number()).unwrap();
-        hv.machine_addr(vm, GuestPhysAddr::new(gpte2.frame.base().as_u64())).unwrap();
+        hv.machine_addr(vm, GuestPhysAddr::new(gpte.frame.base().as_u64()))
+            .unwrap();
+        let (gpte2, _) = hv
+            .guest_kernel(vm)
+            .unwrap()
+            .walk(asid, (va + 0x1000).page_number())
+            .unwrap();
+        hv.machine_addr(vm, GuestPhysAddr::new(gpte2.frame.base().as_u64()))
+            .unwrap();
         (hv, vm, asid, va)
     }
 
@@ -242,7 +263,8 @@ mod tests {
     fn nested_tlb_cuts_reads_to_guest_levels() {
         let (hv, vm, asid, va) = setup();
         let mut w = NestedWalker::isca2016();
-        w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(10)).unwrap();
+        w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(10))
+            .unwrap();
         let mut reads = 0u32;
         // Second page: same PT pages (nested TLB warm for them); only its
         // own data-frame EPT translation may miss.
@@ -251,7 +273,10 @@ mod tests {
             Cycles::new(10)
         })
         .unwrap();
-        assert!(reads <= 8, "nested TLB should absorb EPT walks, got {reads}");
+        assert!(
+            reads <= 8,
+            "nested TLB should absorb EPT walks, got {reads}"
+        );
         assert!(w.stats().nested_tlb_hits >= 4);
     }
 
@@ -259,8 +284,15 @@ mod tests {
     fn machine_frame_matches_hypervisor_view() {
         let (mut hv, vm, asid, va) = setup();
         let mut w = NestedWalker::isca2016();
-        let (pte, _) = w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(1)).unwrap();
-        let gpte = hv.guest_kernel(vm).unwrap().walk(asid, va.page_number()).unwrap().0;
+        let (pte, _) = w
+            .walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(1))
+            .unwrap();
+        let gpte = hv
+            .guest_kernel(vm)
+            .unwrap()
+            .walk(asid, va.page_number())
+            .unwrap()
+            .0;
         let ma = hv
             .machine_addr(vm, GuestPhysAddr::new(gpte.frame.base().as_u64()))
             .unwrap();
@@ -272,7 +304,13 @@ mod tests {
         let (hv, vm, asid, _) = setup();
         let mut w = NestedWalker::isca2016();
         assert!(w
-            .walk(&hv, vm, asid, VirtAddr::new(0xdead_0000).page_number(), |_| Cycles::new(1))
+            .walk(
+                &hv,
+                vm,
+                asid,
+                VirtAddr::new(0xdead_0000).page_number(),
+                |_| Cycles::new(1)
+            )
             .is_none());
     }
 
@@ -280,16 +318,21 @@ mod tests {
     fn flush_forces_ept_rewalk() {
         let (hv, vm, asid, va) = setup();
         let mut w = NestedWalker::isca2016();
-        w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(1)).unwrap();
+        w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(1))
+            .unwrap();
         w.flush();
         let before = w.stats().nested_tlb_misses;
-        w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(1)).unwrap();
+        w.walk(&hv, vm, asid, va.page_number(), |_| Cycles::new(1))
+            .unwrap();
         assert!(w.stats().nested_tlb_misses > before);
     }
 
     #[test]
     fn permission_intersection() {
-        assert_eq!(intersect(Permissions::RW, Permissions::READ), Permissions::READ);
+        assert_eq!(
+            intersect(Permissions::RW, Permissions::READ),
+            Permissions::READ
+        );
         assert_eq!(intersect(Permissions::RW, Permissions::RW), Permissions::RW);
         assert_eq!(
             intersect(Permissions::RX, Permissions::READ | Permissions::WRITE),

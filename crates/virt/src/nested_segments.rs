@@ -121,7 +121,10 @@ impl NestedSegments {
         // Fill the direct gVA→MA segment cache with the *intersection*
         // of the guest and host segments around `gva`, so SC hits stay
         // within both segments' bounds.
-        if let (Some(gseg), Some(hseg)) = (self.guest_table.get(guest_seg), self.host_table.get(host_id)) {
+        if let (Some(gseg), Some(hseg)) = (
+            self.guest_table.get(guest_seg),
+            self.host_table.get(host_id),
+        ) {
             // Effective direct segment: from the later of the two bases
             // (mapped back to gVA) to the earlier of the two limits.
             let g_delta = gseg.phys_base.as_u64() as i128 - gseg.base.as_u64() as i128;
@@ -168,7 +171,8 @@ mod tests {
         let asid = hv.create_guest_process(vm).unwrap();
         let va = VirtAddr::new(0x40_0000);
         let gk = hv.guest_kernel_mut(vm).unwrap();
-        gk.mmap(asid, va, 1 << 20, Permissions::RW, MapIntent::Private).unwrap();
+        gk.mmap(asid, va, 1 << 20, Permissions::RW, MapIntent::Private)
+            .unwrap();
         (hv, vm, asid, va)
     }
 
@@ -182,7 +186,12 @@ mod tests {
             .translate(asid, host_key, probe, |_| Cycles::new(160))
             .expect("covered");
         // Cross-check with guest PT + EPT.
-        let gpte = hv.guest_kernel(vm).unwrap().walk(asid, probe.page_number()).unwrap().0;
+        let gpte = hv
+            .guest_kernel(vm)
+            .unwrap()
+            .walk(asid, probe.page_number())
+            .unwrap()
+            .0;
         let gpa = GuestPhysAddr::new(gpte.frame.base().as_u64() + probe.page_offset());
         let ma_ref = hv.machine_addr(vm, gpa).unwrap();
         assert_eq!(ma, ma_ref);
@@ -194,7 +203,9 @@ mod tests {
         let (hv, vm, asid, va) = setup();
         let mut ns = NestedSegments::build(&hv, vm).unwrap();
         let host_key = hv.host_segment_key(vm).unwrap();
-        let (ma1, lat1) = ns.translate(asid, host_key, va, |_| Cycles::new(160)).unwrap();
+        let (ma1, lat1) = ns
+            .translate(asid, host_key, va, |_| Cycles::new(160))
+            .unwrap();
         let (ma2, lat2) = ns
             .translate(asid, host_key, va + 0x40, |_| Cycles::new(160))
             .unwrap();
@@ -209,7 +220,9 @@ mod tests {
         let mut ns = NestedSegments::build(&hv, vm).unwrap();
         let host_key = hv.host_segment_key(vm).unwrap();
         assert!(ns
-            .translate(asid, host_key, VirtAddr::new(0xdead_0000), |_| Cycles::new(160))
+            .translate(asid, host_key, VirtAddr::new(0xdead_0000), |_| Cycles::new(
+                160
+            ))
             .is_none());
     }
 }

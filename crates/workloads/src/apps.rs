@@ -61,12 +61,28 @@ pub fn gups(mem_bytes: u64) -> WorkloadSpec {
 
 /// milc-like streaming over large lattices (SPEC CPU2006 433.milc).
 pub fn milc() -> WorkloadSpec {
-    spec("milc", vec![RegionSpec::full(384 * MIB)], true, AccessPattern::Stream, 0.3, 6, 4)
+    spec(
+        "milc",
+        vec![RegionSpec::full(384 * MIB)],
+        true,
+        AccessPattern::Stream,
+        0.3,
+        6,
+        4,
+    )
 }
 
 /// mcf-like dependent pointer chasing (SPEC CPU2006 429.mcf).
 pub fn mcf() -> WorkloadSpec {
-    spec("mcf", vec![RegionSpec::full(384 * MIB)], true, AccessPattern::Chase, 0.1, 3, 1)
+    spec(
+        "mcf",
+        vec![RegionSpec::full(384 * MIB)],
+        true,
+        AccessPattern::Chase,
+        0.1,
+        3,
+        1,
+    )
 }
 
 /// xalancbmk-like Zipfian object graph with mmap-heavy allocation
@@ -142,7 +158,10 @@ pub fn astar() -> WorkloadSpec {
 pub fn cactus() -> WorkloadSpec {
     spec(
         "cactus",
-        vec![RegionSpec { len: 256 * MIB, touch_frac: 0.55 }],
+        vec![RegionSpec {
+            len: 256 * MIB,
+            touch_frac: 0.55,
+        }],
         true,
         AccessPattern::Stream,
         0.35,
@@ -155,7 +174,10 @@ pub fn cactus() -> WorkloadSpec {
 pub fn gems() -> WorkloadSpec {
     spec(
         "GemsFDTD",
-        vec![RegionSpec { len: 320 * MIB, touch_frac: 0.8 }],
+        vec![RegionSpec {
+            len: 320 * MIB,
+            touch_frac: 0.8,
+        }],
         true,
         AccessPattern::Stream,
         0.35,
@@ -166,12 +188,28 @@ pub fn gems() -> WorkloadSpec {
 
 /// canneal-like random netlist swaps (PARSEC; chase with poor locality).
 pub fn canneal() -> WorkloadSpec {
-    spec("canneal", vec![RegionSpec::full(256 * MIB)], true, AccessPattern::Chase, 0.2, 4, 1)
+    spec(
+        "canneal",
+        vec![RegionSpec::full(256 * MIB)],
+        true,
+        AccessPattern::Chase,
+        0.2,
+        4,
+        1,
+    )
 }
 
 /// STREAM-like pure bandwidth kernel.
 pub fn stream() -> WorkloadSpec {
-    spec("stream", vec![RegionSpec::full(512 * MIB)], true, AccessPattern::Stream, 0.33, 4, 8)
+    spec(
+        "stream",
+        vec![RegionSpec::full(512 * MIB)],
+        true,
+        AccessPattern::Stream,
+        0.33,
+        4,
+        8,
+    )
 }
 
 /// mummer-like genome index walks (BioBench).
@@ -193,7 +231,12 @@ pub fn mummer() -> WorkloadSpec {
 pub fn memcached() -> WorkloadSpec {
     spec(
         "memcached",
-        (0..40).map(|_| RegionSpec { len: 64 * MIB, touch_frac: 0.5 }).collect(),
+        (0..40)
+            .map(|_| RegionSpec {
+                len: 64 * MIB,
+                touch_frac: 0.5,
+            })
+            .collect(),
         false,
         AccessPattern::Zipfian(0.75),
         0.15,
@@ -244,7 +287,9 @@ fn shared_app(
         // Several scattered arenas (heap, libraries, caches) — the VA
         // diversity real processes have, which is what exposes the
         // synonym filter to false positives.
-        regions: (0..6).map(|_| RegionSpec::full(private_bytes / 6)).collect(),
+        regions: (0..6)
+            .map(|_| RegionSpec::full(private_bytes / 6))
+            .collect(),
         contiguous: false,
         pattern,
         write_frac: 0.3,
@@ -252,7 +297,11 @@ fn shared_app(
         mlp: 4,
         burst: 8,
         stack_frac: 0.3,
-        sharing: Some(SharingSpec { processes, shared_bytes, shared_access_frac }),
+        sharing: Some(SharingSpec {
+            processes,
+            shared_bytes,
+            shared_access_frac,
+        }),
     }
 }
 
@@ -266,7 +315,11 @@ pub fn ferret() -> WorkloadSpec {
         96 * MIB,
         MIB,
         0.009,
-        AccessPattern::Phased { window: 4096, p_in: 0.45, slide_every: 40_000 },
+        AccessPattern::Phased {
+            window: 4096,
+            p_in: 0.45,
+            slide_every: 40_000,
+        },
     )
 }
 
@@ -279,7 +332,11 @@ pub fn postgres() -> WorkloadSpec {
         64 * MIB,
         128 * MIB,
         0.163,
-        AccessPattern::Phased { window: 4096, p_in: 0.6, slide_every: 40_000 },
+        AccessPattern::Phased {
+            window: 4096,
+            p_in: 0.6,
+            slide_every: 40_000,
+        },
     )
 }
 
@@ -291,7 +348,11 @@ pub fn specjbb() -> WorkloadSpec {
         96 * MIB,
         MIB,
         0.001,
-        AccessPattern::Phased { window: 4096, p_in: 0.55, slide_every: 40_000 },
+        AccessPattern::Phased {
+            window: 4096,
+            p_in: 0.55,
+            slide_every: 40_000,
+        },
     )
 }
 
@@ -303,7 +364,11 @@ pub fn firefox() -> WorkloadSpec {
         96 * MIB,
         6 * MIB,
         0.006,
-        AccessPattern::Phased { window: 4096, p_in: 0.85, slide_every: 40_000 },
+        AccessPattern::Phased {
+            window: 4096,
+            p_in: 0.85,
+            slide_every: 40_000,
+        },
     )
 }
 
@@ -315,7 +380,11 @@ pub fn apache() -> WorkloadSpec {
         32 * MIB,
         2 * MIB,
         0.005,
-        AccessPattern::Phased { window: 2048, p_in: 0.94, slide_every: 40_000 },
+        AccessPattern::Phased {
+            window: 2048,
+            p_in: 0.94,
+            slide_every: 40_000,
+        },
     )
 }
 

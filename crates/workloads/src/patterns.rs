@@ -64,7 +64,14 @@ impl Zipf {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, zetan, alpha, eta, zeta2 }
+        Zipf {
+            n,
+            theta,
+            zetan,
+            alpha,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -74,7 +81,9 @@ impl Zipf {
         if n <= EXACT_LIMIT {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=EXACT_LIMIT)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
             // ∫ x^-θ dx from EXACT_LIMIT to n.
             let a = EXACT_LIMIT as f64;
             let b = n as f64;

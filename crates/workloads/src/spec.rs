@@ -22,7 +22,10 @@ pub struct RegionSpec {
 impl RegionSpec {
     /// A fully-touched region of `len` bytes.
     pub fn full(len: u64) -> Self {
-        RegionSpec { len, touch_frac: 1.0 }
+        RegionSpec {
+            len,
+            touch_frac: 1.0,
+        }
     }
 }
 
@@ -97,8 +100,9 @@ impl WorkloadSpec {
                 let len = r.len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
                 let va = VirtAddr::new(next_va);
                 kernel.mmap(asid, va, len, Permissions::RW, MapIntent::Private)?;
-                let touched_pages =
-                    (((len >> PAGE_SHIFT) as f64) * r.touch_frac).ceil().max(1.0) as u64;
+                let touched_pages = (((len >> PAGE_SHIFT) as f64) * r.touch_frac)
+                    .ceil()
+                    .max(1.0) as u64;
                 let first = va.page_number();
                 pages.extend((0..touched_pages.min(len >> PAGE_SHIFT)).map(|i| first.offset(i)));
                 next_va += if self.contiguous {
@@ -113,12 +117,21 @@ impl WorkloadSpec {
             let mut shared_pages = Vec::new();
             if let (Some(shm), Some(s)) = (shm, self.sharing) {
                 let sva = VirtAddr::new(0x7000_0000_0000 + (p as u64) * 0x10_0000_0000);
-                kernel.mmap(asid, sva, s.shared_bytes, Permissions::RW, MapIntent::Shared(shm))?;
+                kernel.mmap(
+                    asid,
+                    sva,
+                    s.shared_bytes,
+                    Permissions::RW,
+                    MapIntent::Shared(shm),
+                )?;
                 let first = sva.page_number();
-                shared_pages
-                    .extend((0..s.shared_bytes >> PAGE_SHIFT).map(|i| first.offset(i)));
+                shared_pages.extend((0..s.shared_bytes >> PAGE_SHIFT).map(|i| first.offset(i)));
             }
-            procs.push(ProcMem { asid, pages, shared_pages });
+            procs.push(ProcMem {
+                asid,
+                pages,
+                shared_pages,
+            });
         }
 
         let max_pages = procs.iter().map(|p| p.pages.len()).max().unwrap_or(1);
@@ -388,7 +401,11 @@ impl WorkloadInstance {
                         (st.cursor, st.line)
                     }
                 }
-                AccessPattern::Phased { window, p_in, slide_every } => {
+                AccessPattern::Phased {
+                    window,
+                    p_in,
+                    slide_every,
+                } => {
                     st.phase_refs += 1;
                     if st.phase_refs >= *slide_every {
                         st.phase_refs = 0;
@@ -479,7 +496,10 @@ mod tests {
         let mut inst = spec.instantiate(&mut k, 1).unwrap();
         for item in inst.iter().take(5000) {
             let va = item.mref.vaddr.as_u64();
-            assert!((0x1000_0000..0x1000_0000 + (8 << 20)).contains(&va), "va {va:#x}");
+            assert!(
+                (0x1000_0000..0x1000_0000 + (8 << 20)).contains(&va),
+                "va {va:#x}"
+            );
         }
     }
 
@@ -509,7 +529,10 @@ mod tests {
     #[test]
     fn touch_frac_limits_page_domain() {
         let mut spec = basic_spec(AccessPattern::Uniform);
-        spec.regions = vec![RegionSpec { len: 100 * PAGE_SIZE, touch_frac: 0.25 }];
+        spec.regions = vec![RegionSpec {
+            len: 100 * PAGE_SIZE,
+            touch_frac: 0.25,
+        }];
         let mut k = kernel();
         let mut inst = spec.instantiate(&mut k, 1).unwrap();
         let limit = 0x1000_0000 + 25 * PAGE_SIZE;
@@ -552,8 +575,14 @@ mod tests {
         let p0 = inst.procs()[0].shared_pages[0];
         let p1 = inst.procs()[1].shared_pages[0];
         assert_ne!(p0, p1);
-        let f0 = k.translate_touch(inst.procs()[0].asid, p0.base()).unwrap().frame;
-        let f1 = k.translate_touch(inst.procs()[1].asid, p1.base()).unwrap().frame;
+        let f0 = k
+            .translate_touch(inst.procs()[0].asid, p0.base())
+            .unwrap()
+            .frame;
+        let f1 = k
+            .translate_touch(inst.procs()[1].asid, p1.base())
+            .unwrap()
+            .frame;
         assert_eq!(f0, f1);
     }
 
@@ -574,7 +603,11 @@ mod tests {
         let mut k = kernel();
         let mut inst = spec.instantiate(&mut k, 4).unwrap();
         let n = 20_000;
-        let writes = inst.iter().take(n).filter(|i| i.mref.kind.is_write()).count();
+        let writes = inst
+            .iter()
+            .take(n)
+            .filter(|i| i.mref.kind.is_write())
+            .count();
         let frac = writes as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.02, "write fraction {frac}");
     }

@@ -14,7 +14,11 @@ fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
         (0.05f64..0.9).prop_map(AccessPattern::Branchy),
         (0.05f64..0.9).prop_map(AccessPattern::SparseGather),
         (16usize..64, 0.3f64..0.95, 100u32..10_000).prop_map(|(w, p, s)| {
-            AccessPattern::Phased { window: w, p_in: p, slide_every: s }
+            AccessPattern::Phased {
+                window: w,
+                p_in: p,
+                slide_every: s,
+            }
         }),
     ]
 }

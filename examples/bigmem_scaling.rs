@@ -42,7 +42,9 @@ fn main() -> Result<(), HvcError> {
         let mut sim = SystemSim::new(
             kernel,
             SystemConfig::isca2016(),
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
         );
         let seg_report = sim.run(&mut wl, refs);
 

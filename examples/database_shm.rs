@@ -23,11 +23,18 @@ fn main() -> Result<(), HvcError> {
 
     // Inspect what the OS set up: every process maps the same frames at
     // a different virtual address — the textbook synonym situation.
-    println!("postgres-like workload: {} backend processes", workload.procs().len());
+    println!(
+        "postgres-like workload: {} backend processes",
+        workload.procs().len()
+    );
     let p0 = &workload.procs()[0];
     let p1 = &workload.procs()[1];
-    let f0 = kernel.translate_touch(p0.asid, p0.shared_pages[0].base())?.frame;
-    let f1 = kernel.translate_touch(p1.asid, p1.shared_pages[0].base())?.frame;
+    let f0 = kernel
+        .translate_touch(p0.asid, p0.shared_pages[0].base())?
+        .frame;
+    let f1 = kernel
+        .translate_touch(p1.asid, p1.shared_pages[0].base())?
+        .frame;
     println!(
         "  backend 0 maps frame {:#x} at {}, backend 1 maps it at {}",
         f0.as_u64(),

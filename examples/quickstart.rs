@@ -19,14 +19,28 @@ fn main() -> Result<(), HvcError> {
     println!("hybrid virtual caching quickstart — omnetpp-like Zipf graph, {refs} references\n");
 
     let configs = [
-        ("baseline (physical caches, 2-level TLB)", TranslationScheme::Baseline, AllocPolicy::DemandPaging),
-        ("hybrid + 4K-entry delayed TLB", TranslationScheme::HybridDelayedTlb(4096), AllocPolicy::DemandPaging),
+        (
+            "baseline (physical caches, 2-level TLB)",
+            TranslationScheme::Baseline,
+            AllocPolicy::DemandPaging,
+        ),
+        (
+            "hybrid + 4K-entry delayed TLB",
+            TranslationScheme::HybridDelayedTlb(4096),
+            AllocPolicy::DemandPaging,
+        ),
         (
             "hybrid + many-segment translation",
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
             AllocPolicy::EagerSegments { split: 1 },
         ),
-        ("ideal (no translation)", TranslationScheme::Ideal, AllocPolicy::DemandPaging),
+        (
+            "ideal (no translation)",
+            TranslationScheme::Ideal,
+            AllocPolicy::DemandPaging,
+        ),
     ];
 
     let energy = EnergyModel::cacti_32nm();

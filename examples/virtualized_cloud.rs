@@ -61,7 +61,10 @@ fn main() -> Result<(), HvcError> {
     let before = hv.free_machine_frames();
     hv.dedup_ro((vm1, g1), (vm2, g2))?;
     println!("content dedup: merged identical guest pages across two VMs");
-    println!("  machine frames reclaimed: {}", hv.free_machine_frames() - before);
+    println!(
+        "  machine frames reclaimed: {}",
+        hv.free_machine_frames() - before
+    );
     println!(
         "  host-filter insertions:   {} (r/o sharing stays out of the synonym filter)",
         hv.stats().host_filter_insertions
@@ -69,7 +72,9 @@ fn main() -> Result<(), HvcError> {
 
     // A guest write breaks the sharing transparently.
     hv.break_dedup(vm2, g2)?;
-    println!("  after a guest write: copy-on-write breaks the sharing ({} break)",
-        hv.stats().cow_breaks);
+    println!(
+        "  after a guest write: copy-on-write breaks the sharing ({} break)",
+        hv.stats().cow_breaks
+    );
     Ok(())
 }

@@ -20,8 +20,18 @@ fn run(scheme: TranslationScheme, policy: AllocPolicy, refs: usize, seed: u64) -
 fn all_schemes_touch_the_same_memory() {
     let refs = 30_000;
     let reports = [
-        run(TranslationScheme::Baseline, AllocPolicy::DemandPaging, refs, 5),
-        run(TranslationScheme::HybridDelayedTlb(1024), AllocPolicy::DemandPaging, refs, 5),
+        run(
+            TranslationScheme::Baseline,
+            AllocPolicy::DemandPaging,
+            refs,
+            5,
+        ),
+        run(
+            TranslationScheme::HybridDelayedTlb(1024),
+            AllocPolicy::DemandPaging,
+            refs,
+            5,
+        ),
         run(TranslationScheme::Ideal, AllocPolicy::DemandPaging, refs, 5),
     ];
     // The workload stream is deterministic: all demand-paged schemes
@@ -29,7 +39,10 @@ fn all_schemes_touch_the_same_memory() {
     // shared-access traffic.
     for r in &reports[1..] {
         assert_eq!(r.minor_faults, reports[0].minor_faults);
-        assert_eq!(r.translation.shared_accesses, reports[0].translation.shared_accesses);
+        assert_eq!(
+            r.translation.shared_accesses,
+            reports[0].translation.shared_accesses
+        );
         assert_eq!(r.instructions, reports[0].instructions);
         assert_eq!(r.refs, reports[0].refs);
     }
@@ -37,8 +50,18 @@ fn all_schemes_touch_the_same_memory() {
 
 #[test]
 fn simulation_is_deterministic() {
-    let a = run(TranslationScheme::HybridDelayedTlb(2048), AllocPolicy::DemandPaging, 20_000, 9);
-    let b = run(TranslationScheme::HybridDelayedTlb(2048), AllocPolicy::DemandPaging, 20_000, 9);
+    let a = run(
+        TranslationScheme::HybridDelayedTlb(2048),
+        AllocPolicy::DemandPaging,
+        20_000,
+        9,
+    );
+    let b = run(
+        TranslationScheme::HybridDelayedTlb(2048),
+        AllocPolicy::DemandPaging,
+        20_000,
+        9,
+    );
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.translation, b.translation);
     assert_eq!(a.dram, b.dram);
@@ -47,7 +70,12 @@ fn simulation_is_deterministic() {
 #[test]
 fn ideal_bounds_every_scheme() {
     let refs = 40_000;
-    let ideal = run(TranslationScheme::Ideal, AllocPolicy::DemandPaging, refs, 11);
+    let ideal = run(
+        TranslationScheme::Ideal,
+        AllocPolicy::DemandPaging,
+        refs,
+        11,
+    );
     for scheme in [
         TranslationScheme::Baseline,
         TranslationScheme::HybridDelayedTlb(1024),
@@ -65,10 +93,18 @@ fn ideal_bounds_every_scheme() {
 
 #[test]
 fn hybrid_eliminates_front_side_tlb_traffic_for_private_workloads() {
-    let r = run(TranslationScheme::HybridDelayedTlb(1024), AllocPolicy::DemandPaging, 20_000, 3);
+    let r = run(
+        TranslationScheme::HybridDelayedTlb(1024),
+        AllocPolicy::DemandPaging,
+        20_000,
+        3,
+    );
     assert_eq!(r.translation.l1_tlb_lookups, 0);
     assert_eq!(r.translation.l2_tlb_lookups, 0);
-    assert_eq!(r.translation.synonym_tlb_lookups, 0, "no synonyms in omnetpp");
+    assert_eq!(
+        r.translation.synonym_tlb_lookups, 0,
+        "no synonyms in omnetpp"
+    );
     assert_eq!(r.translation.filter_lookups, 20_000);
 }
 
@@ -82,7 +118,9 @@ fn many_segment_and_delayed_tlb_agree_functionally() {
         let mut sim = SystemSim::new(
             kernel,
             SystemConfig::isca2016(),
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
         );
         sim.run(&mut wl, refs)
     };
@@ -97,7 +135,10 @@ fn many_segment_and_delayed_tlb_agree_functionally() {
         sim.run(&mut wl, refs)
     };
     assert_eq!(seg.instructions, tlb.instructions);
-    assert_eq!(seg.translation.shared_accesses, tlb.translation.shared_accesses);
+    assert_eq!(
+        seg.translation.shared_accesses,
+        tlb.translation.shared_accesses
+    );
     // Under eager allocation no demand faults occur in either.
     assert_eq!(seg.minor_faults, 0);
     assert_eq!(tlb.minor_faults, 0);
@@ -114,7 +155,10 @@ fn postgres_synonym_traffic_is_consistent_across_schemes() {
     };
     let base = mk(TranslationScheme::Baseline);
     let hyb = mk(TranslationScheme::HybridDelayedTlb(1024));
-    assert_eq!(base.translation.shared_accesses, hyb.translation.shared_accesses);
+    assert_eq!(
+        base.translation.shared_accesses,
+        hyb.translation.shared_accesses
+    );
     // Candidates cover at least the true synonym accesses (no false
     // negatives), possibly more (false positives).
     assert!(hyb.translation.filter_candidates >= hyb.translation.shared_accesses);

@@ -26,10 +26,22 @@ fn synonyms_share_one_physical_name() {
     let b = kernel.create_process().unwrap();
     let shm = kernel.shm_create(0x4000).unwrap();
     kernel
-        .mmap(a, VirtAddr::new(0x1000_0000), 0x4000, Permissions::RW, MapIntent::Shared(shm))
+        .mmap(
+            a,
+            VirtAddr::new(0x1000_0000),
+            0x4000,
+            Permissions::RW,
+            MapIntent::Shared(shm),
+        )
         .unwrap();
     kernel
-        .mmap(b, VirtAddr::new(0x5000_0000), 0x4000, Permissions::RW, MapIntent::Shared(shm))
+        .mmap(
+            b,
+            VirtAddr::new(0x5000_0000),
+            0x4000,
+            Permissions::RW,
+            MapIntent::Shared(shm),
+        )
         .unwrap();
 
     // Both processes' views of the same shared line resolve to one name.
@@ -52,10 +64,22 @@ fn writes_through_one_synonym_view_are_seen_by_the_other() {
     let b = kernel.create_process().unwrap();
     let shm = kernel.shm_create(0x1000).unwrap();
     kernel
-        .mmap(a, VirtAddr::new(0x1000_0000), 0x1000, Permissions::RW, MapIntent::Shared(shm))
+        .mmap(
+            a,
+            VirtAddr::new(0x1000_0000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Shared(shm),
+        )
         .unwrap();
     kernel
-        .mmap(b, VirtAddr::new(0x5000_0000), 0x1000, Permissions::RW, MapIntent::Shared(shm))
+        .mmap(
+            b,
+            VirtAddr::new(0x5000_0000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Shared(shm),
+        )
         .unwrap();
 
     let mut hierarchy = Hierarchy::new(HierarchyConfig::isca2016(2));
@@ -76,15 +100,27 @@ fn private_pages_of_different_processes_never_collide() {
     let b = kernel.create_process().unwrap();
     for p in [a, b] {
         kernel
-            .mmap(p, VirtAddr::new(0x2000_0000), 0x2000, Permissions::RW, MapIntent::Private)
+            .mmap(
+                p,
+                VirtAddr::new(0x2000_0000),
+                0x2000,
+                Permissions::RW,
+                MapIntent::Private,
+            )
             .unwrap();
     }
     // Same VA in both processes (homonym): distinct names, distinct frames.
     let na = hybrid_name(&mut kernel, a, VirtAddr::new(0x2000_0000));
     let nb = hybrid_name(&mut kernel, b, VirtAddr::new(0x2000_0000));
     assert_ne!(na, nb, "homonyms must have distinct names");
-    let fa = kernel.translate_touch(a, VirtAddr::new(0x2000_0000)).unwrap().frame;
-    let fb = kernel.translate_touch(b, VirtAddr::new(0x2000_0000)).unwrap().frame;
+    let fa = kernel
+        .translate_touch(a, VirtAddr::new(0x2000_0000))
+        .unwrap()
+        .frame;
+    let fb = kernel
+        .translate_touch(b, VirtAddr::new(0x2000_0000))
+        .unwrap()
+        .frame;
     assert_ne!(fa, fb);
 }
 
@@ -101,7 +137,13 @@ fn no_frame_is_reachable_under_two_names() {
         let p = kernel.create_process().unwrap();
         procs.push(p);
         kernel
-            .mmap(p, VirtAddr::new(0x1000_0000), 0x8000, Permissions::RW, MapIntent::Private)
+            .mmap(
+                p,
+                VirtAddr::new(0x1000_0000),
+                0x8000,
+                Permissions::RW,
+                MapIntent::Private,
+            )
             .unwrap();
         kernel
             .mmap(
@@ -124,10 +166,7 @@ fn no_frame_is_reachable_under_two_names() {
     }
     for (i, &p) in procs.clone().iter().enumerate() {
         for page in 0..8u64 {
-            for (region, base) in [
-                (0, 0x1000_0000),
-                (1, 0x7000_0000 + (i as u64) * 0x10_0000),
-            ] {
+            for (region, base) in [(0, 0x1000_0000), (1, 0x7000_0000 + (i as u64) * 0x10_0000)] {
                 let va = VirtAddr::new(base + page * 0x1000);
                 let pte = kernel.translate_touch(p, va).unwrap();
                 let name = hybrid_name(&mut kernel, p, va);
@@ -160,7 +199,13 @@ fn filter_never_misses_a_synonym_across_many_processes() {
         let p = kernel.create_process().unwrap();
         let base = 0x7000_0000_0000 + i * 0x9000_0000;
         kernel
-            .mmap(p, VirtAddr::new(base), 0x40_000, Permissions::RW, MapIntent::Shared(shm))
+            .mmap(
+                p,
+                VirtAddr::new(base),
+                0x40_000,
+                Permissions::RW,
+                MapIntent::Shared(shm),
+            )
             .unwrap();
         let space = kernel.space(p).unwrap();
         for page in 0..64u64 {

@@ -19,17 +19,27 @@ fn all_nested_translation_paths_agree() {
     let asid = hv.create_guest_process(vm).unwrap();
     let va = VirtAddr::new(0x40_0000);
     let gk = hv.guest_kernel_mut(vm).unwrap();
-    gk.mmap(asid, va, 1 << 20, Permissions::RW, MapIntent::Private).unwrap();
+    gk.mmap(asid, va, 1 << 20, Permissions::RW, MapIntent::Private)
+        .unwrap();
 
     let probe = va + 0x3456;
 
     // Path 1: guest PT + EPT (the reference).
-    let gpte = hv.guest_kernel(vm).unwrap().walk(asid, probe.page_number()).unwrap().0;
+    let gpte = hv
+        .guest_kernel(vm)
+        .unwrap()
+        .walk(asid, probe.page_number())
+        .unwrap()
+        .0;
     let gpa = GuestPhysAddr::new(gpte.frame.base().as_u64() + probe.page_offset());
     let ma_ref = hv.machine_addr(vm, gpa).unwrap();
 
     // Path 2: hardware nested walker (pre-touch PT pages).
-    let (_, gpath) = hv.guest_kernel(vm).unwrap().walk(asid, probe.page_number()).unwrap();
+    let (_, gpath) = hv
+        .guest_kernel(vm)
+        .unwrap()
+        .walk(asid, probe.page_number())
+        .unwrap();
     for e in gpath {
         hv.machine_addr(vm, GuestPhysAddr::new(e.as_u64())).unwrap();
     }
@@ -46,7 +56,9 @@ fn all_nested_translation_paths_agree() {
     // Path 3: 2D segment translation.
     let mut ns = NestedSegments::build(&hv, vm).unwrap();
     let host_key = hv.host_segment_key(vm).unwrap();
-    let (ma_seg, _) = ns.translate(asid, host_key, probe, |_| Cycles::new(1)).unwrap();
+    let (ma_seg, _) = ns
+        .translate(asid, host_key, probe, |_| Cycles::new(1))
+        .unwrap();
     assert_eq!(ma_seg, ma_ref, "2D segments disagree with EPT reference");
 }
 
@@ -60,16 +72,36 @@ fn guest_synonyms_work_inside_a_vm() {
     let b = hv.create_guest_process(vm).unwrap();
     let gk = hv.guest_kernel_mut(vm).unwrap();
     let shm = gk.shm_create(0x2000).unwrap();
-    gk.mmap(a, VirtAddr::new(0x7000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
-        .unwrap();
-    gk.mmap(b, VirtAddr::new(0x9000_0000), 0x2000, Permissions::RW, MapIntent::Shared(shm))
-        .unwrap();
+    gk.mmap(
+        a,
+        VirtAddr::new(0x7000_0000),
+        0x2000,
+        Permissions::RW,
+        MapIntent::Shared(shm),
+    )
+    .unwrap();
+    gk.mmap(
+        b,
+        VirtAddr::new(0x9000_0000),
+        0x2000,
+        Permissions::RW,
+        MapIntent::Shared(shm),
+    )
+    .unwrap();
     let pa = gk.translate_touch(a, VirtAddr::new(0x7000_0000)).unwrap();
     let pb = gk.translate_touch(b, VirtAddr::new(0x9000_0000)).unwrap();
     assert_eq!(pa.frame, pb.frame, "same guest-physical frame");
     assert!(pa.shared && pb.shared);
-    assert!(gk.space(a).unwrap().filter.is_candidate(VirtAddr::new(0x7000_0000)));
-    assert!(gk.space(b).unwrap().filter.is_candidate(VirtAddr::new(0x9000_0000)));
+    assert!(gk
+        .space(a)
+        .unwrap()
+        .filter
+        .is_candidate(VirtAddr::new(0x7000_0000)));
+    assert!(gk
+        .space(b)
+        .unwrap()
+        .filter
+        .is_candidate(VirtAddr::new(0x9000_0000)));
     // The two guest views reach one machine address.
     let ma_a = hv
         .machine_addr(vm, GuestPhysAddr::new(pa.frame.base().as_u64()))
@@ -83,22 +115,51 @@ fn guest_synonyms_work_inside_a_vm() {
 #[test]
 fn vm_isolation_distinct_asids_and_frames() {
     let mut hv = Hypervisor::new(4 * GIB);
-    let vm1 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
-    let vm2 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+    let vm1 = hv
+        .create_vm(GIB / 2, AllocPolicy::DemandPaging, false)
+        .unwrap();
+    let vm2 = hv
+        .create_vm(GIB / 2, AllocPolicy::DemandPaging, false)
+        .unwrap();
     let a1 = hv.create_guest_process(vm1).unwrap();
     let a2 = hv.create_guest_process(vm2).unwrap();
     assert_ne!(a1, a2, "ASIDs embed VMIDs so VMs cannot alias");
     for (vm, asid) in [(vm1, a1), (vm2, a2)] {
         let gk = hv.guest_kernel_mut(vm).unwrap();
-        gk.mmap(asid, VirtAddr::new(0x1000_0000), 0x1000, Permissions::RW, MapIntent::Private)
+        gk.mmap(
+            asid,
+            VirtAddr::new(0x1000_0000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
+        gk.translate_touch(asid, VirtAddr::new(0x1000_0000))
             .unwrap();
-        gk.translate_touch(asid, VirtAddr::new(0x1000_0000)).unwrap();
     }
-    let g1 = hv.guest_kernel(vm1).unwrap().walk(a1, VirtAddr::new(0x1000_0000).page_number()).unwrap().0;
-    let g2 = hv.guest_kernel(vm2).unwrap().walk(a2, VirtAddr::new(0x1000_0000).page_number()).unwrap().0;
-    let m1 = hv.machine_addr(vm1, GuestPhysAddr::new(g1.frame.base().as_u64())).unwrap();
-    let m2 = hv.machine_addr(vm2, GuestPhysAddr::new(g2.frame.base().as_u64())).unwrap();
-    assert_ne!(m1.frame_number(), m2.frame_number(), "machine frames are disjoint");
+    let g1 = hv
+        .guest_kernel(vm1)
+        .unwrap()
+        .walk(a1, VirtAddr::new(0x1000_0000).page_number())
+        .unwrap()
+        .0;
+    let g2 = hv
+        .guest_kernel(vm2)
+        .unwrap()
+        .walk(a2, VirtAddr::new(0x1000_0000).page_number())
+        .unwrap()
+        .0;
+    let m1 = hv
+        .machine_addr(vm1, GuestPhysAddr::new(g1.frame.base().as_u64()))
+        .unwrap();
+    let m2 = hv
+        .machine_addr(vm2, GuestPhysAddr::new(g2.frame.base().as_u64()))
+        .unwrap();
+    assert_ne!(
+        m1.frame_number(),
+        m2.frame_number(),
+        "machine frames are disjoint"
+    );
 }
 
 #[test]
@@ -127,8 +188,12 @@ fn virt_sim_schemes_agree_functionally() {
 #[test]
 fn dedup_then_write_roundtrip_preserves_isolation() {
     let mut hv = Hypervisor::new(4 * GIB);
-    let vm1 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
-    let vm2 = hv.create_vm(GIB / 2, AllocPolicy::DemandPaging, false).unwrap();
+    let vm1 = hv
+        .create_vm(GIB / 2, AllocPolicy::DemandPaging, false)
+        .unwrap();
+    let vm2 = hv
+        .create_vm(GIB / 2, AllocPolicy::DemandPaging, false)
+        .unwrap();
     let g1 = GuestPhysAddr::new(0x10_0000);
     let g2 = GuestPhysAddr::new(0x20_0000);
     hv.machine_addr(vm1, g1).unwrap();
