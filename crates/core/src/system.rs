@@ -8,9 +8,7 @@ use hvc_mem::Dram;
 use hvc_os::{FlushRequest, Kernel, Pte};
 use hvc_segment::ManySegmentTranslator;
 use hvc_tlb::{PageWalker, Tlb, TlbHit, TwoLevelTlb};
-use hvc_types::{
-    AccessKind, Asid, BlockName, Cycles, MemRef, PhysAddr, TraceItem, VirtAddr,
-};
+use hvc_types::{AccessKind, Asid, BlockName, Cycles, MemRef, PhysAddr, TraceItem, VirtAddr};
 use hvc_workloads::WorkloadInstance;
 use std::collections::HashMap;
 
@@ -43,6 +41,9 @@ pub struct SystemSim {
     last_asid: Vec<Option<Asid>>,
     counters: TranslationCounters,
     refs: u64,
+    /// Kernel minor-fault count at the last [`SystemSim::reset_stats`],
+    /// so reports window faults like every other counter.
+    fault_mark: u64,
 }
 
 impl SystemSim {
@@ -51,12 +52,12 @@ impl SystemSim {
     /// scheme).
     pub fn new(kernel: Kernel, config: SystemConfig, scheme: TranslationScheme) -> Self {
         let many = match scheme {
-            TranslationScheme::HybridManySegment { segment_cache: true } => {
-                Some(ManySegmentTranslator::isca2016(kernel.segments()))
-            }
-            TranslationScheme::HybridManySegment { segment_cache: false } => {
-                Some(ManySegmentTranslator::isca2016_no_sc(kernel.segments()))
-            }
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            } => Some(ManySegmentTranslator::isca2016(kernel.segments())),
+            TranslationScheme::HybridManySegment {
+                segment_cache: false,
+            } => Some(ManySegmentTranslator::isca2016_no_sc(kernel.segments())),
             _ => None,
         };
         let delayed_entries = match scheme {
@@ -72,7 +73,9 @@ impl SystemSim {
                 .map(|_| TwoLevelTlb::new(config.l1_tlb.clone(), config.l2_tlb.clone()))
                 .collect(),
             walker: (0..cores).map(|_| PageWalker::new()).collect(),
-            syn_tlb: (0..cores).map(|_| Tlb::new(config.synonym_tlb.clone())).collect(),
+            syn_tlb: (0..cores)
+                .map(|_| Tlb::new(config.synonym_tlb.clone()))
+                .collect(),
             delayed_tlb: Tlb::new(hvc_tlb::TlbConfig::delayed(delayed_entries)),
             many,
             placement: HashMap::new(),
@@ -83,6 +86,7 @@ impl SystemSim {
             scheme,
             counters: TranslationCounters::default(),
             refs: 0,
+            fault_mark: 0,
         }
     }
 
@@ -126,6 +130,7 @@ impl SystemSim {
             m.reset_stats();
         }
         self.core.mark();
+        self.fault_mark = self.kernel.stats().minor_faults;
     }
 
     /// Runs `refs` warm-up references (not measured) and then resets
@@ -220,7 +225,11 @@ impl SystemSim {
         let cursor = self.fetch_cursor.entry(asid.as_u16()).or_insert(0);
         *cursor = (*cursor + 1) % LOOP_LINES;
         let vaddr = VirtAddr::new(TEXT_BASE + *cursor * 64);
-        MemRef { asid, vaddr, kind: AccessKind::Fetch }
+        MemRef {
+            asid,
+            vaddr,
+            kind: AccessKind::Fetch,
+        }
     }
 
     /// Builds the report for everything simulated so far.
@@ -240,7 +249,7 @@ impl SystemSim {
             baseline_tlb_misses: self.dtlb.iter().map(TwoLevelTlb::full_misses).sum(),
             cache: self.hierarchy.stats(),
             dram: self.dram.stats().clone(),
-            minor_faults: self.kernel.stats().minor_faults,
+            minor_faults: self.kernel.stats().minor_faults - self.fault_mark,
         }
     }
 
@@ -406,9 +415,13 @@ impl SystemSim {
         self.counters.prefetches += 1;
         let now = self.core.now();
         self.dram.access(now, next, false); // background fetch
-        if let Some(v) =
-            self.hierarchy.fill_miss(core, AccessKind::Read, name, false, hvc_types::Permissions::RW)
-        {
+        if let Some(v) = self.hierarchy.fill_miss(
+            core,
+            AccessKind::Read,
+            name,
+            false,
+            hvc_types::Permissions::RW,
+        ) {
             self.write_back(core, v.name);
         }
     }
@@ -442,17 +455,14 @@ impl SystemSim {
             return;
         }
         self.counters.prefetches += 1;
-        let (pa, _, perm) = self.delayed_translate_inner(
-            core,
-            asid,
-            next_va,
-            AccessKind::Read,
-            None,
-            false,
-        );
+        let (pa, _, perm) =
+            self.delayed_translate_inner(core, asid, next_va, AccessKind::Read, None, false);
         let now = self.core.now();
         self.dram.access(now, pa, false); // background fetch
-        if let Some(v) = self.hierarchy.fill_miss(core, AccessKind::Read, next_name, false, perm) {
+        if let Some(v) = self
+            .hierarchy
+            .fill_miss(core, AccessKind::Read, next_name, false, perm)
+        {
             self.write_back(core, v.name);
         }
     }
@@ -514,7 +524,9 @@ impl SystemSim {
             };
             let now = self.core.now() + lat;
             lat += self.dram.access_latency(now, pa, kind.is_write());
-            let victim = self.hierarchy.fill_miss(core, kind, name, kind.is_write(), perm);
+            let victim = self
+                .hierarchy
+                .fill_miss(core, kind, name, kind.is_write(), perm);
             if let Some(v) = victim {
                 self.write_back(core, v.name);
             }
@@ -550,7 +562,14 @@ impl SystemSim {
         demand: bool,
     ) -> (PhysAddr, Cycles, hvc_types::Permissions) {
         if let TranslationScheme::HybridManySegment { .. } = self.scheme {
-            let Self { many, dram, core: core_model, kernel, counters, .. } = self;
+            let Self {
+                many,
+                dram,
+                core: core_model,
+                kernel,
+                counters,
+                ..
+            } = self;
             let m = many.as_mut().expect("many-segment scheme");
             let now = core_model.now();
             if let Some((pa, lat)) = m.translate(asid, vaddr, |addr| {
@@ -605,7 +624,15 @@ impl SystemSim {
     /// Walks the page table in hardware, charging PTE reads through the
     /// (physically-addressed) cache hierarchy.
     fn charged_walk(&mut self, core_idx: usize, asid: Asid, vaddr: VirtAddr) -> Cycles {
-        let Self { walker, kernel, hierarchy, dram, core, counters, .. } = self;
+        let Self {
+            walker,
+            kernel,
+            hierarchy,
+            dram,
+            core,
+            counters,
+            ..
+        } = self;
         let now = core.now();
         walker[core_idx]
             .walk(kernel, asid, vaddr.page_number(), |addr| {
@@ -758,8 +785,14 @@ mod tests {
             5000,
         );
         assert_eq!(r.translation.filter_lookups, 5000);
-        assert_eq!(r.translation.synonym_tlb_lookups, 0, "no synonyms, no candidates");
-        assert!(r.translation.delayed_tlb_lookups > 0, "LLC misses translate");
+        assert_eq!(
+            r.translation.synonym_tlb_lookups, 0,
+            "no synonyms, no candidates"
+        );
+        assert!(
+            r.translation.delayed_tlb_lookups > 0,
+            "LLC misses translate"
+        );
         assert_eq!(r.translation.l1_tlb_lookups, 0);
     }
 
@@ -774,7 +807,9 @@ mod tests {
     #[test]
     fn many_segment_scheme_translates_via_segments() {
         let r = run_scheme(
-            TranslationScheme::HybridManySegment { segment_cache: true },
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
             AllocPolicy::EagerSegments { split: 1 },
             5000,
         );
@@ -805,7 +840,12 @@ mod tests {
             hybrid.ipc(),
             base.ipc()
         );
-        assert!(ideal.ipc() >= hybrid.ipc() * 0.99, "ideal {} vs hybrid {}", ideal.ipc(), hybrid.ipc());
+        assert!(
+            ideal.ipc() >= hybrid.ipc() * 0.99,
+            "ideal {} vs hybrid {}",
+            ideal.ipc(),
+            hybrid.ipc()
+        );
     }
 
     #[test]
@@ -821,8 +861,8 @@ mod tests {
         assert!(r.translation.filter_candidates > 0);
         assert!(r.translation.shared_accesses > 0);
         // Access reduction: synonym TLB sees only candidates.
-        let reduction = 1.0
-            - r.translation.synonym_tlb_lookups as f64 / r.translation.filter_lookups as f64;
+        let reduction =
+            1.0 - r.translation.synonym_tlb_lookups as f64 / r.translation.filter_lookups as f64;
         assert!(
             (0.7..1.0).contains(&reduction),
             "postgres-like TLB access reduction {reduction}"
@@ -838,8 +878,7 @@ mod tests {
         let mut wl = apps::postgres().instantiate(&mut kernel, 31).unwrap();
         let mut config = SystemConfig::isca2016();
         config.hierarchy = hvc_cache::HierarchyConfig::isca2016(4);
-        let mut sim =
-            SystemSim::new(kernel, config, TranslationScheme::HybridDelayedTlb(1024));
+        let mut sim = SystemSim::new(kernel, config, TranslationScheme::HybridDelayedTlb(1024));
         let r = sim.run(&mut wl, 20_000);
         assert!(r.ipc() > 0.0);
         // Four processes → four cores, no context switches after the
@@ -878,7 +917,10 @@ mod tests {
         };
         let base_off = run(TranslationScheme::Baseline, false);
         let base_on = run(TranslationScheme::Baseline, true);
-        assert!(base_on.cycles < base_off.cycles, "prefetch must help streaming");
+        assert!(
+            base_on.cycles < base_off.cycles,
+            "prefetch must help streaming"
+        );
         assert!(base_on.translation.prefetches > 0);
         assert!(
             base_on.translation.prefetches_blocked > 0,
@@ -903,13 +945,18 @@ mod tests {
             let mut sim = SystemSim::new(
                 kernel,
                 config,
-                TranslationScheme::HybridManySegment { segment_cache: true },
+                TranslationScheme::HybridManySegment {
+                    segment_cache: true,
+                },
             );
             sim.run(&mut wl, 20_000)
         };
         let serial = run(false);
         let parallel = run(true);
-        assert!(parallel.cycles <= serial.cycles, "overlap can only help latency");
+        assert!(
+            parallel.cycles <= serial.cycles,
+            "overlap can only help latency"
+        );
         assert!(
             parallel.translation.sc_lookups >= serial.translation.sc_lookups,
             "parallel mode translates speculatively on LLC hits too"
@@ -942,12 +989,22 @@ mod tests {
         let b = kernel.create_process().unwrap();
         let shm = kernel.shm_create(0x2000).unwrap();
         kernel
-            .mmap(a, VirtAddr::new(0x7000_0000), 0x2000, hvc_types::Permissions::RW,
-                  hvc_os::MapIntent::Shared(shm))
+            .mmap(
+                a,
+                VirtAddr::new(0x7000_0000),
+                0x2000,
+                hvc_types::Permissions::RW,
+                hvc_os::MapIntent::Shared(shm),
+            )
             .unwrap();
         kernel
-            .mmap(b, VirtAddr::new(0x9000_0000), 0x2000, hvc_types::Permissions::RW,
-                  hvc_os::MapIntent::Shared(shm))
+            .mmap(
+                b,
+                VirtAddr::new(0x9000_0000),
+                0x2000,
+                hvc_types::Permissions::RW,
+                hvc_os::MapIntent::Shared(shm),
+            )
             .unwrap();
         let mut sim = SystemSim::new(
             kernel,
@@ -980,7 +1037,10 @@ mod tests {
         let base_off = run(false, TranslationScheme::Baseline);
         let base_on = run(true, TranslationScheme::Baseline);
         // Baseline: one extra L1 TLB lookup per item (the fetch).
-        assert_eq!(base_on.translation.l1_tlb_lookups, 2 * base_off.translation.l1_tlb_lookups);
+        assert_eq!(
+            base_on.translation.l1_tlb_lookups,
+            2 * base_off.translation.l1_tlb_lookups
+        );
         assert!(base_on.cache.l1i[0].accesses() > 0);
 
         let hyb_on = run(true, TranslationScheme::HybridDelayedTlb(1024));

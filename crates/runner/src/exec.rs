@@ -1,0 +1,252 @@
+//! The parallel sweep executor.
+//!
+//! Cells are pushed onto a shared queue and claimed by `--jobs` worker
+//! threads (work stealing degenerates to work sharing with a single
+//! global deque, which is all a sweep of independent, similarly-sized
+//! cells needs). Every cell runs in its own [`SystemSim`] with a seed
+//! derived from the grid position, so the reported statistics are a
+//! pure function of the experiment — identical whatever the job count
+//! or completion order.
+
+use crate::grid::{Cell, Experiment};
+use crate::params;
+use hvc_core::{RunReport, SystemConfig, SystemSim};
+use hvc_os::Kernel;
+use hvc_types::{Cycles, MergeStats, TraceItem};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs of one sweep invocation (as opposed to the experiment itself,
+/// these must not influence the reported statistics).
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Measurement windows per cell; the per-window reports are merged
+    /// with [`MergeStats`], exercising the same path a distributed
+    /// sweep would use to combine shards.
+    pub shards: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { jobs: 1, shards: 1 }
+    }
+}
+
+/// The outcome of one cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The grid cell that produced this result.
+    pub cell: Cell,
+    /// Merged statistics over all shards of the cell.
+    pub report: RunReport,
+}
+
+/// The outcome of a whole sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Per-cell results in grid order.
+    pub results: Vec<CellResult>,
+    /// Wall-clock time of the parallel phase.
+    pub wall: Duration,
+}
+
+/// Runs every cell of `exp` on `opts.jobs` threads.
+pub fn run_sweep(exp: &Experiment, opts: &RunOptions) -> Result<SweepOutcome, String> {
+    exp.validate()?;
+    if opts.jobs == 0 {
+        return Err("jobs must be positive".into());
+    }
+    if opts.shards == 0 {
+        return Err("shards must be positive".into());
+    }
+    let replay_items: Option<Vec<TraceItem>> = match &exp.replay {
+        Some(path) => Some(load_trace(path)?),
+        None => None,
+    };
+
+    let cells = exp.cells();
+    let n = cells.len();
+    let queue: Mutex<VecDeque<Cell>> = Mutex::new(cells.into());
+    let slots: Vec<Mutex<Option<Result<CellResult, String>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.jobs.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let Some(cell) = queue.lock().unwrap().pop_front() else {
+                    return;
+                };
+                let index = cell.index;
+                let outcome = run_cell(exp, &cell, opts.shards, replay_items.as_deref())
+                    .map(|report| CellResult { cell, report });
+                *slots[index].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut results = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap() {
+            Some(Ok(r)) => results.push(r),
+            Some(Err(e)) => return Err(format!("cell {i}: {e}")),
+            None => return Err(format!("cell {i} was never executed")),
+        }
+    }
+    Ok(SweepOutcome { results, wall })
+}
+
+/// Runs one cell: build the system, warm it up, then measure `refs`
+/// references split over `shards` windows whose reports are merged.
+pub fn run_cell(
+    exp: &Experiment,
+    cell: &Cell,
+    shards: usize,
+    replay: Option<&[TraceItem]>,
+) -> Result<RunReport, String> {
+    let spec = params::workload_by_name(&cell.workload, exp.mem)
+        .ok_or_else(|| format!("unknown workload '{}'", cell.workload))?;
+    let (scheme, policy) = params::parse_scheme(&cell.scheme)
+        .ok_or_else(|| format!("unknown scheme '{}'", cell.scheme))?;
+
+    let mut config = SystemConfig::isca2016();
+    config.hierarchy = hvc_cache::HierarchyConfig::isca2016(exp.cores.max(1));
+    if cell.llc_bytes != config.hierarchy.llc.size_bytes {
+        if !params::valid_llc(cell.llc_bytes) {
+            return Err(format!("invalid LLC capacity {}", cell.llc_bytes));
+        }
+        config.hierarchy.llc = hvc_cache::CacheConfig::new(cell.llc_bytes, 16, Cycles::new(27));
+    }
+    config.model_ifetch = exp.ifetch;
+
+    let mut kernel = Kernel::new(16 << 30, policy);
+    let mut wl = spec
+        .instantiate(&mut kernel, cell.seed)
+        .map_err(|e| format!("workload setup failed: {e}"))?;
+    let mlp = wl.mlp();
+    let mut sim = SystemSim::new(kernel, config, scheme);
+
+    // Warm-up (replay runs consume the head of the trace, as a real
+    // recorded execution would).
+    let mut replay_pos = 0usize;
+    if exp.warm > 0 {
+        match replay {
+            Some(items) => {
+                let end = exp.warm.min(items.len());
+                sim.run_trace(items[..end].iter().copied(), mlp);
+                sim.reset_stats();
+                replay_pos = end;
+            }
+            None => sim.warm_up(&mut wl, exp.warm),
+        }
+    }
+
+    // Measure in `shards` windows and merge — bitwise the same as one
+    // window because `reset_stats` preserves microarchitectural state.
+    let mut merged: Option<RunReport> = None;
+    for window in window_sizes(exp.refs, shards) {
+        let report = match replay {
+            Some(items) => {
+                let end = (replay_pos + window).min(items.len());
+                let r = sim.run_trace(items[replay_pos..end].iter().copied(), mlp);
+                replay_pos = end;
+                r
+            }
+            None => sim.run(&mut wl, window),
+        };
+        sim.reset_stats();
+        match &mut merged {
+            Some(m) => m.merge_from(&report),
+            None => merged = Some(report),
+        }
+    }
+    merged.ok_or_else(|| "no measurement windows".into())
+}
+
+/// Splits `refs` into `shards` near-equal window sizes (the first
+/// windows absorb the remainder); empty windows are dropped.
+fn window_sizes(refs: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let base = refs / shards;
+    let extra = refs % shards;
+    (0..shards)
+        .map(|i| base + usize::from(i < extra))
+        .filter(|&w| w > 0)
+        .collect()
+}
+
+fn load_trace(path: &str) -> Result<Vec<TraceItem>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open trace {path}: {e}"))?;
+    let reader = hvc_trace::read_trace(std::io::BufReader::new(file))
+        .map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    reader
+        .collect::<std::io::Result<Vec<_>>>()
+        .map_err(|e| format!("corrupt trace {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::preset;
+
+    #[test]
+    fn window_sizes_partition_refs() {
+        assert_eq!(window_sizes(10, 3), vec![4, 3, 3]);
+        assert_eq!(window_sizes(9, 3), vec![3, 3, 3]);
+        assert_eq!(window_sizes(2, 4), vec![1, 1]);
+        assert_eq!(window_sizes(0, 4), Vec::<usize>::new());
+        assert_eq!(window_sizes(5, 1), vec![5]);
+    }
+
+    fn tiny() -> Experiment {
+        let mut exp = preset("smoke").unwrap();
+        exp.refs = 4_000;
+        exp.warm = 1_000;
+        exp
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let exp = tiny();
+        let serial = run_sweep(&exp, &RunOptions { jobs: 1, shards: 1 }).unwrap();
+        let parallel = run_sweep(&exp, &RunOptions { jobs: 4, shards: 1 }).unwrap();
+        assert_eq!(serial.results.len(), parallel.results.len());
+        for (a, b) in serial.results.iter().zip(parallel.results.iter()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.report.instructions, b.report.instructions);
+            assert_eq!(a.report.cycles, b.report.cycles);
+            assert_eq!(a.report.translation, b.report.translation);
+            assert_eq!(a.report.cache, b.report.cache);
+            assert_eq!(a.report.dram, b.report.dram);
+            assert_eq!(a.report.minor_faults, b.report.minor_faults);
+        }
+    }
+
+    #[test]
+    fn sharded_run_merges_to_the_unsharded_report() {
+        let exp = tiny();
+        let whole = run_sweep(&exp, &RunOptions { jobs: 1, shards: 1 }).unwrap();
+        let sharded = run_sweep(&exp, &RunOptions { jobs: 1, shards: 4 }).unwrap();
+        for (a, b) in whole.results.iter().zip(sharded.results.iter()) {
+            assert_eq!(a.report.instructions, b.report.instructions);
+            assert_eq!(a.report.cycles, b.report.cycles);
+            assert_eq!(a.report.refs, b.report.refs);
+            assert_eq!(a.report.translation, b.report.translation);
+            assert_eq!(a.report.baseline_tlb_misses, b.report.baseline_tlb_misses);
+            assert_eq!(a.report.cache, b.report.cache);
+            assert_eq!(a.report.dram, b.report.dram);
+            assert_eq!(a.report.minor_faults, b.report.minor_faults);
+        }
+    }
+
+    #[test]
+    fn errors_name_the_failing_cell() {
+        let mut exp = tiny();
+        exp.replay = Some("/nonexistent/trace.hvct".into());
+        assert!(run_sweep(&exp, &RunOptions::default()).is_err());
+    }
+}

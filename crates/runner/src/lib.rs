@@ -1,0 +1,46 @@
+//! Experiment orchestration for the HVC simulator.
+//!
+//! This crate turns single simulator runs into **sweeps**: the
+//! cartesian product of workload × scheme × seed × cache-configuration
+//! axes, executed on a pool of worker threads and written out as one
+//! JSON report. It owns
+//!
+//! * [`Experiment`] — the grid type, with [`presets`] for the paper's
+//!   figures and tables (`fig9`, `table2`, …),
+//! * [`run_sweep`] — the parallel executor; every cell runs in its own
+//!   [`hvc_core::SystemSim`] with a seed derived from the grid
+//!   position, so results are a pure function of the experiment and do
+//!   not depend on `--jobs` or scheduling order,
+//! * [`hvc_types::MergeStats`]-based shard merging — a cell can be
+//!   measured in several windows whose statistics combine exactly,
+//! * [`sweep_report`] — a self-describing JSON document (schema
+//!   [`report::SCHEMA`]) with exact `u64` counters, written and parsed
+//!   by the dependency-free [`json`] module.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_runner::{presets, run_sweep, sweep_report, RunOptions};
+//!
+//! let mut exp = presets::preset("smoke").unwrap();
+//! exp.refs = 2_000; // keep the doctest quick
+//! exp.warm = 500;
+//! let opts = RunOptions { jobs: 2, shards: 1 };
+//! let outcome = run_sweep(&exp, &opts).unwrap();
+//! let doc = sweep_report(&exp, &opts, &outcome);
+//! assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod grid;
+pub mod json;
+pub mod params;
+pub mod presets;
+pub mod report;
+
+pub use exec::{run_cell, run_sweep, CellResult, RunOptions, SweepOutcome};
+pub use grid::{Cell, Experiment};
+pub use report::sweep_report;

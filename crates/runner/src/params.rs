@@ -1,0 +1,182 @@
+//! Shared parsing of workload names, scheme strings, and sizes.
+//!
+//! Both the `hvcsim` CLI and the sweep grid accept the same spellings;
+//! keeping the parsers here means a scheme string that works for a
+//! single run works unchanged as a grid axis value.
+
+use hvc_core::TranslationScheme;
+use hvc_os::AllocPolicy;
+use hvc_workloads::{apps, WorkloadSpec};
+
+/// All workload profile names, grouped as in the paper: the sixteen
+/// big-memory applications first, then the five synonym (r/w-shared)
+/// applications.
+pub const WORKLOAD_NAMES: &[&str] = &[
+    "gups",
+    "milc",
+    "mcf",
+    "xalancbmk",
+    "tigr",
+    "omnetpp",
+    "soplex",
+    "astar",
+    "cactus",
+    "gems",
+    "canneal",
+    "stream",
+    "mummer",
+    "memcached",
+    "cg",
+    "graph500",
+    "ferret",
+    "postgres",
+    "specjbb",
+    "firefox",
+    "apache",
+];
+
+/// The synonym-heavy subset (Figure 11 / Table I workloads).
+pub const SYNONYM_WORKLOADS: &[&str] = &["ferret", "postgres", "specjbb", "firefox", "apache"];
+
+/// Parses a size with an optional `K`/`M`/`G` suffix (`8M` → `8 << 20`).
+pub fn parse_size(s: &str) -> Option<u64> {
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+/// Looks up a workload profile by name; `gups_mem` sizes the GUPS table.
+pub fn workload_by_name(name: &str, gups_mem: u64) -> Option<WorkloadSpec> {
+    Some(match name {
+        "gups" => apps::gups(gups_mem),
+        "milc" => apps::milc(),
+        "mcf" => apps::mcf(),
+        "xalancbmk" => apps::xalancbmk(),
+        "tigr" => apps::tigr(),
+        "omnetpp" => apps::omnetpp(),
+        "soplex" => apps::soplex(),
+        "astar" => apps::astar(),
+        "cactus" => apps::cactus(),
+        "gems" => apps::gems(),
+        "canneal" => apps::canneal(),
+        "stream" => apps::stream(),
+        "mummer" => apps::mummer(),
+        "memcached" => apps::memcached(),
+        "cg" => apps::npb_cg(),
+        "graph500" => apps::graph500(),
+        "ferret" => apps::ferret(),
+        "postgres" => apps::postgres(),
+        "specjbb" => apps::specjbb(),
+        "firefox" => apps::firefox(),
+        "apache" => apps::apache(),
+        _ => return None,
+    })
+}
+
+/// Parses a scheme string — `baseline`, `ideal`, `dtlb:<entries>`,
+/// `manyseg`, `manyseg-nosc`, or `enigma:<entries>` — together with the
+/// allocation policy the scheme requires (many-segment translation needs
+/// eagerly reserved segments).
+pub fn parse_scheme(s: &str) -> Option<(TranslationScheme, AllocPolicy)> {
+    let demand = AllocPolicy::DemandPaging;
+    let eager = AllocPolicy::EagerSegments { split: 1 };
+    Some(match s {
+        "baseline" => (TranslationScheme::Baseline, demand),
+        "ideal" => (TranslationScheme::Ideal, demand),
+        "manyseg" => (
+            TranslationScheme::HybridManySegment {
+                segment_cache: true,
+            },
+            eager,
+        ),
+        "manyseg-nosc" => (
+            TranslationScheme::HybridManySegment {
+                segment_cache: false,
+            },
+            eager,
+        ),
+        _ => {
+            if let Some(n) = s.strip_prefix("dtlb:") {
+                (TranslationScheme::HybridDelayedTlb(n.parse().ok()?), demand)
+            } else if let Some(n) = s.strip_prefix("enigma:") {
+                (TranslationScheme::EnigmaDelayedTlb(n.parse().ok()?), demand)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+/// The delayed-TLB entry count a scheme exposes to the energy model
+/// (schemes without a delayed TLB report the paper's default 4096).
+pub fn delayed_entries(scheme: TranslationScheme) -> usize {
+    match scheme {
+        TranslationScheme::HybridDelayedTlb(n) | TranslationScheme::EnigmaDelayedTlb(n) => n,
+        _ => 4096,
+    }
+}
+
+/// Validates an LLC capacity against the fixed 16-way, 64-byte-line
+/// geometry (the set count must be a power of two).
+pub fn valid_llc(bytes: u64) -> bool {
+    let lines = bytes / 64;
+    lines > 0 && lines.is_multiple_of(16) && (lines / 16).is_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size("64"), Some(64));
+        assert_eq!(parse_size("4K"), Some(4 << 10));
+        assert_eq!(parse_size("8M"), Some(8 << 20));
+        assert_eq!(parse_size("2g"), Some(2 << 30));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size(""), None);
+    }
+
+    #[test]
+    fn every_listed_workload_resolves() {
+        for name in WORKLOAD_NAMES {
+            assert!(workload_by_name(name, 16 << 20).is_some(), "{name}");
+        }
+        assert!(workload_by_name("nope", 16 << 20).is_none());
+    }
+
+    #[test]
+    fn schemes() {
+        assert!(matches!(
+            parse_scheme("baseline"),
+            Some((TranslationScheme::Baseline, _))
+        ));
+        assert!(matches!(
+            parse_scheme("dtlb:4096"),
+            Some((TranslationScheme::HybridDelayedTlb(4096), _))
+        ));
+        assert!(matches!(
+            parse_scheme("manyseg"),
+            Some((
+                TranslationScheme::HybridManySegment {
+                    segment_cache: true
+                },
+                _
+            ))
+        ));
+        assert!(parse_scheme("dtlb:").is_none());
+        assert!(parse_scheme("bogus").is_none());
+    }
+
+    #[test]
+    fn llc_geometry() {
+        assert!(valid_llc(2 << 20));
+        assert!(valid_llc(8 << 20));
+        assert!(!valid_llc(3 << 20));
+        assert!(!valid_llc(0));
+    }
+}

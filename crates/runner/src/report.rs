@@ -1,0 +1,281 @@
+//! JSON sweep reports.
+//!
+//! # Schema `hvc-sweep-report/1`
+//!
+//! ```text
+//! {
+//!   "schema": "hvc-sweep-report/1",
+//!   "simulator": { "name": "hvc", "version": "<crate version>" },
+//!   "experiment": {
+//!     "name", "workloads" [], "schemes" [], "seeds" [], "llc_bytes" [],
+//!     "refs", "warm", "mem", "cores", "ifetch", "replay" (string|null)
+//!   },
+//!   "jobs": <worker threads>,
+//!   "shards": <windows merged per cell>,
+//!   "wall_ms": <wall-clock of the parallel phase>,
+//!   "cells": [
+//!     {
+//!       "index", "workload", "scheme", "base_seed", "seed", "llc_bytes",
+//!       "stats": {
+//!         "instructions", "cycles", "ipc", "refs",
+//!         "baseline_tlb_misses", "minor_faults",
+//!         "translation": { ...all TranslationCounters fields...,
+//!                          "front_tlb_accesses", "total_tlb_misses" },
+//!         "cache": { "l1i" [], "l1d" [], "l2" [],
+//!                    "llc" { "hits", "misses", "evictions",
+//!                            "writebacks", "invalidations" },
+//!                    "coherence_invalidations", "memory_writebacks" },
+//!         "dram": { "reads", "writes", "row_hits", "row_misses",
+//!                   "row_conflicts", "total_latency_cycles" },
+//!         "energy_uj": <translation energy, µJ>
+//!       }
+//!     }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! All counters are exact `u64`; derived floats (`ipc`, `energy_uj`)
+//! are pure functions of the counters, so the whole `cells` array is
+//! byte-identical for identical statistics. `wall_ms` is the only
+//! field that varies between invocations, and it lives outside the
+//! per-cell objects on purpose.
+
+use crate::exec::{CellResult, RunOptions, SweepOutcome};
+use crate::grid::Experiment;
+use crate::json::Value;
+use crate::params;
+use hvc_cache::{CacheStats, LevelStats};
+use hvc_core::{EnergyModel, RunReport, TranslationCounters};
+use hvc_mem::DramStats;
+
+/// The schema identifier written into every report.
+pub const SCHEMA: &str = "hvc-sweep-report/1";
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Builds the report document for a finished sweep.
+pub fn sweep_report(exp: &Experiment, opts: &RunOptions, outcome: &SweepOutcome) -> Value {
+    object(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        (
+            "simulator",
+            object(vec![
+                ("name", Value::Str("hvc".into())),
+                ("version", Value::Str(env!("CARGO_PKG_VERSION").into())),
+            ]),
+        ),
+        ("experiment", experiment_value(exp)),
+        ("jobs", Value::UInt(opts.jobs as u64)),
+        ("shards", Value::UInt(opts.shards as u64)),
+        ("wall_ms", Value::UInt(outcome.wall.as_millis() as u64)),
+        (
+            "cells",
+            Value::Array(outcome.results.iter().map(cell_value).collect()),
+        ),
+    ])
+}
+
+fn experiment_value(exp: &Experiment) -> Value {
+    let strs = |v: &[String]| Value::Array(v.iter().map(|s| Value::Str(s.clone())).collect());
+    object(vec![
+        ("name", Value::Str(exp.name.clone())),
+        ("workloads", strs(&exp.workloads)),
+        ("schemes", strs(&exp.schemes)),
+        (
+            "seeds",
+            Value::Array(exp.seeds.iter().map(|&s| Value::UInt(s)).collect()),
+        ),
+        (
+            "llc_bytes",
+            Value::Array(exp.llc_bytes.iter().map(|&b| Value::UInt(b)).collect()),
+        ),
+        ("refs", Value::UInt(exp.refs as u64)),
+        ("warm", Value::UInt(exp.warm as u64)),
+        ("mem", Value::UInt(exp.mem)),
+        ("cores", Value::UInt(exp.cores as u64)),
+        ("ifetch", Value::Bool(exp.ifetch)),
+        (
+            "replay",
+            exp.replay
+                .as_ref()
+                .map_or(Value::Null, |p| Value::Str(p.clone())),
+        ),
+    ])
+}
+
+fn cell_value(result: &CellResult) -> Value {
+    let c = &result.cell;
+    object(vec![
+        ("index", Value::UInt(c.index as u64)),
+        ("workload", Value::Str(c.workload.clone())),
+        ("scheme", Value::Str(c.scheme.clone())),
+        ("base_seed", Value::UInt(c.base_seed)),
+        ("seed", Value::UInt(c.seed)),
+        ("llc_bytes", Value::UInt(c.llc_bytes)),
+        ("stats", stats_value(&result.report, &c.scheme)),
+    ])
+}
+
+fn stats_value(r: &RunReport, scheme: &str) -> Value {
+    let entries = params::parse_scheme(scheme)
+        .map(|(s, _)| params::delayed_entries(s))
+        .unwrap_or(4096);
+    let energy = EnergyModel::cacti_32nm()
+        .breakdown(&r.translation, entries)
+        .total()
+        / 1e6;
+    object(vec![
+        ("instructions", Value::UInt(r.instructions)),
+        ("cycles", Value::UInt(r.cycles)),
+        ("ipc", Value::Float(r.ipc())),
+        ("refs", Value::UInt(r.refs)),
+        ("baseline_tlb_misses", Value::UInt(r.baseline_tlb_misses)),
+        ("minor_faults", Value::UInt(r.minor_faults)),
+        ("translation", translation_value(&r.translation)),
+        ("cache", cache_value(&r.cache)),
+        ("dram", dram_value(&r.dram)),
+        ("energy_uj", Value::Float(energy)),
+    ])
+}
+
+fn translation_value(t: &TranslationCounters) -> Value {
+    object(vec![
+        ("l1_tlb_lookups", Value::UInt(t.l1_tlb_lookups)),
+        ("l2_tlb_lookups", Value::UInt(t.l2_tlb_lookups)),
+        ("filter_lookups", Value::UInt(t.filter_lookups)),
+        ("filter_candidates", Value::UInt(t.filter_candidates)),
+        ("false_positives", Value::UInt(t.false_positives)),
+        ("synonym_tlb_lookups", Value::UInt(t.synonym_tlb_lookups)),
+        ("synonym_tlb_misses", Value::UInt(t.synonym_tlb_misses)),
+        ("delayed_tlb_lookups", Value::UInt(t.delayed_tlb_lookups)),
+        ("delayed_tlb_misses", Value::UInt(t.delayed_tlb_misses)),
+        ("sc_lookups", Value::UInt(t.sc_lookups)),
+        ("index_cache_accesses", Value::UInt(t.index_cache_accesses)),
+        (
+            "segment_table_accesses",
+            Value::UInt(t.segment_table_accesses),
+        ),
+        ("pte_reads", Value::UInt(t.pte_reads)),
+        ("shared_accesses", Value::UInt(t.shared_accesses)),
+        (
+            "writeback_translations",
+            Value::UInt(t.writeback_translations),
+        ),
+        ("filter_reloads", Value::UInt(t.filter_reloads)),
+        (
+            "segment_table_rebuilds",
+            Value::UInt(t.segment_table_rebuilds),
+        ),
+        ("enigma_lookups", Value::UInt(t.enigma_lookups)),
+        ("prefetches", Value::UInt(t.prefetches)),
+        ("prefetches_blocked", Value::UInt(t.prefetches_blocked)),
+        ("front_tlb_accesses", Value::UInt(t.front_tlb_accesses())),
+        ("total_tlb_misses", Value::UInt(t.total_tlb_misses())),
+    ])
+}
+
+fn level_value(l: &LevelStats) -> Value {
+    object(vec![
+        ("hits", Value::UInt(l.hits)),
+        ("misses", Value::UInt(l.misses)),
+        ("evictions", Value::UInt(l.evictions)),
+        ("writebacks", Value::UInt(l.writebacks)),
+        ("invalidations", Value::UInt(l.invalidations)),
+    ])
+}
+
+fn cache_value(c: &CacheStats) -> Value {
+    let levels = |v: &[LevelStats]| Value::Array(v.iter().map(level_value).collect());
+    object(vec![
+        ("l1i", levels(&c.l1i)),
+        ("l1d", levels(&c.l1d)),
+        ("l2", levels(&c.l2)),
+        ("llc", level_value(&c.llc)),
+        (
+            "coherence_invalidations",
+            Value::UInt(c.coherence_invalidations),
+        ),
+        ("memory_writebacks", Value::UInt(c.memory_writebacks)),
+    ])
+}
+
+fn dram_value(d: &DramStats) -> Value {
+    object(vec![
+        ("reads", Value::UInt(d.reads)),
+        ("writes", Value::UInt(d.writes)),
+        ("row_hits", Value::UInt(d.row_hits)),
+        ("row_misses", Value::UInt(d.row_misses)),
+        ("row_conflicts", Value::UInt(d.row_conflicts)),
+        ("total_latency_cycles", Value::UInt(d.total_latency.get())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fake_outcome() -> (Experiment, RunOptions, SweepOutcome) {
+        let exp = Experiment {
+            workloads: vec!["gups".into()],
+            schemes: vec!["baseline".into()],
+            ..Default::default()
+        };
+        let cell = exp.cells().remove(0);
+        let report = RunReport {
+            instructions: 1000,
+            cycles: 500,
+            refs: 100,
+            ..Default::default()
+        };
+        let outcome = SweepOutcome {
+            results: vec![CellResult { cell, report }],
+            wall: Duration::from_millis(12),
+        };
+        (exp, RunOptions { jobs: 2, shards: 1 }, outcome)
+    }
+
+    #[test]
+    fn report_has_schema_and_cells() {
+        let (exp, opts, outcome) = fake_outcome();
+        let doc = sweep_report(&exp, &opts, &outcome);
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(doc.get("jobs").unwrap().as_u64(), Some(2));
+        let cells = doc.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 1);
+        let stats = cells[0].get("stats").unwrap();
+        assert_eq!(stats.get("instructions").unwrap().as_u64(), Some(1000));
+        assert!((stats.get("ipc").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-12);
+        assert!(stats.get("translation").unwrap().get("pte_reads").is_some());
+        assert!(stats.get("cache").unwrap().get("llc").is_some());
+        assert!(stats.get("dram").unwrap().get("reads").is_some());
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let (exp, opts, outcome) = fake_outcome();
+        let doc = sweep_report(&exp, &opts, &outcome);
+        let text = doc.to_pretty();
+        assert_eq!(crate::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn cells_serialization_ignores_wall_clock() {
+        let (exp, opts, mut outcome) = fake_outcome();
+        let a = sweep_report(&exp, &opts, &outcome);
+        outcome.wall = Duration::from_millis(9_999);
+        let b = sweep_report(&exp, &opts, &outcome);
+        assert_eq!(
+            a.get("cells").unwrap().to_pretty(),
+            b.get("cells").unwrap().to_pretty()
+        );
+        assert_ne!(a.get("wall_ms"), b.get("wall_ms"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests for the `MergeStats` algebra.
+//!
+//! Shard merging is only sound if merge behaves like elementwise
+//! addition: **commutative** (shards finish in any order) and
+//! **associative** (shards can be combined pairwise in any grouping),
+//! with the default value as identity. These laws are checked here for
+//! every stats struct the sweep pipeline merges.
+
+use hvc_cache::{CacheStats, LevelStats};
+use hvc_core::{RunReport, TranslationCounters};
+use hvc_mem::DramStats;
+use hvc_tlb::{TlbStats, WalkerStats};
+use hvc_types::{Cycles, MergeStats};
+use proptest::prelude::*;
+
+// Counters stay below 2^40 so merging a handful of values can never
+// overflow u64.
+const MAX: u64 = 1 << 40;
+
+fn level_stats() -> impl Strategy<Value = LevelStats> {
+    prop::collection::vec(0u64..MAX, 5..6).prop_map(|v| LevelStats {
+        hits: v[0],
+        misses: v[1],
+        evictions: v[2],
+        writebacks: v[3],
+        invalidations: v[4],
+    })
+}
+
+fn cache_stats() -> impl Strategy<Value = CacheStats> {
+    (
+        prop::collection::vec(level_stats(), 0..3),
+        prop::collection::vec(level_stats(), 0..3),
+        prop::collection::vec(level_stats(), 0..3),
+        level_stats(),
+        0u64..MAX,
+        0u64..MAX,
+    )
+        .prop_map(|(l1i, l1d, l2, llc, ci, mw)| CacheStats {
+            l1i,
+            l1d,
+            l2,
+            llc,
+            coherence_invalidations: ci,
+            memory_writebacks: mw,
+        })
+}
+
+fn dram_stats() -> impl Strategy<Value = DramStats> {
+    prop::collection::vec(0u64..MAX, 6..7).prop_map(|v| DramStats {
+        reads: v[0],
+        writes: v[1],
+        row_hits: v[2],
+        row_misses: v[3],
+        row_conflicts: v[4],
+        total_latency: Cycles::new(v[5]),
+    })
+}
+
+fn translation_counters() -> impl Strategy<Value = TranslationCounters> {
+    prop::collection::vec(0u64..MAX, 20..21).prop_map(|v| TranslationCounters {
+        l1_tlb_lookups: v[0],
+        l2_tlb_lookups: v[1],
+        filter_lookups: v[2],
+        filter_candidates: v[3],
+        false_positives: v[4],
+        synonym_tlb_lookups: v[5],
+        synonym_tlb_misses: v[6],
+        delayed_tlb_lookups: v[7],
+        delayed_tlb_misses: v[8],
+        sc_lookups: v[9],
+        index_cache_accesses: v[10],
+        segment_table_accesses: v[11],
+        pte_reads: v[12],
+        shared_accesses: v[13],
+        writeback_translations: v[14],
+        filter_reloads: v[15],
+        segment_table_rebuilds: v[16],
+        enigma_lookups: v[17],
+        prefetches: v[18],
+        prefetches_blocked: v[19],
+    })
+}
+
+fn run_report() -> impl Strategy<Value = RunReport> {
+    (
+        (0u64..MAX, 0u64..MAX, 0u64..MAX, 0u64..MAX, 0u64..MAX),
+        translation_counters(),
+        cache_stats(),
+        dram_stats(),
+    )
+        .prop_map(
+            |((instructions, cycles, refs, btm, faults), translation, cache, dram)| RunReport {
+                instructions,
+                cycles,
+                refs,
+                translation,
+                baseline_tlb_misses: btm,
+                cache,
+                dram,
+                minor_faults: faults,
+            },
+        )
+}
+
+/// `RunReport` has no `PartialEq`; compare the parts that do.
+fn reports_equal(a: &RunReport, b: &RunReport) -> bool {
+    a.instructions == b.instructions
+        && a.cycles == b.cycles
+        && a.refs == b.refs
+        && a.translation == b.translation
+        && a.baseline_tlb_misses == b.baseline_tlb_misses
+        && a.cache == b.cache
+        && a.dram == b.dram
+        && a.minor_faults == b.minor_faults
+}
+
+macro_rules! merge_laws {
+    ($comm:ident, $assoc:ident, $ident:ident, $strat:expr, $ty:ty) => {
+        proptest! {
+            #[test]
+            fn $comm(a in $strat, b in $strat) {
+                prop_assert_eq!(a.merged(&b), b.merged(&a));
+            }
+
+            #[test]
+            fn $assoc(a in $strat, b in $strat, c in $strat) {
+                prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+            }
+
+            #[test]
+            fn $ident(a in $strat) {
+                prop_assert_eq!(a.merged(&<$ty>::default()), a);
+            }
+        }
+    };
+}
+
+merge_laws!(
+    level_commutative,
+    level_associative,
+    level_identity,
+    level_stats(),
+    LevelStats
+);
+merge_laws!(
+    cache_commutative,
+    cache_associative,
+    cache_identity,
+    cache_stats(),
+    CacheStats
+);
+merge_laws!(
+    dram_commutative,
+    dram_associative,
+    dram_identity,
+    dram_stats(),
+    DramStats
+);
+merge_laws!(
+    translation_commutative,
+    translation_associative,
+    translation_identity,
+    translation_counters(),
+    TranslationCounters
+);
+
+proptest! {
+    #[test]
+    fn tlb_stats_laws(h1 in 0u64..MAX, m1 in 0u64..MAX, h2 in 0u64..MAX, m2 in 0u64..MAX) {
+        let a = TlbStats { hits: h1, misses: m1 };
+        let b = TlbStats { hits: h2, misses: m2 };
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+        prop_assert_eq!(a.merged(&TlbStats::default()), a);
+    }
+
+    #[test]
+    fn walker_stats_laws(v in prop::collection::vec(0u64..MAX, 8..9)) {
+        let a = WalkerStats {
+            walks: v[0],
+            pte_reads: v[1],
+            skipped_reads: v[2],
+            walk_cycles: Cycles::new(v[3]),
+        };
+        let b = WalkerStats {
+            walks: v[4],
+            pte_reads: v[5],
+            skipped_reads: v[6],
+            walk_cycles: Cycles::new(v[7]),
+        };
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+        prop_assert_eq!(a.merged(&WalkerStats::default()), a.clone());
+        prop_assert_eq!(
+            a.merged(&b).merged(&a),
+            a.merged(&b.merged(&a))
+        );
+    }
+
+    #[test]
+    fn run_report_laws(a in run_report(), b in run_report(), c in run_report()) {
+        prop_assert!(reports_equal(&a.merged(&b), &b.merged(&a)));
+        prop_assert!(reports_equal(&a.merged(&b).merged(&c), &a.merged(&b.merged(&c))));
+        prop_assert!(reports_equal(&a.merged(&RunReport::default()), &a));
+    }
+}

@@ -1,0 +1,61 @@
+//! Shard-merging identity on a recorded trace: replaying a trace in one
+//! window must report exactly the same statistics as replaying it split
+//! into several merged windows — the property that makes distributed
+//! sharding of a cell legitimate.
+
+use hvc_os::{AllocPolicy, Kernel};
+use hvc_runner::{run_sweep, Experiment, RunOptions};
+use hvc_types::TraceItem;
+
+fn record_trace(path: &std::path::Path, refs: usize) {
+    let mut kernel = Kernel::new(4 << 30, AllocPolicy::DemandPaging);
+    let mut wl = hvc_workloads::apps::gups(16 << 20)
+        .instantiate(&mut kernel, 7)
+        .expect("workload setup");
+    let items: Vec<TraceItem> = (0..refs).map(|_| wl.next_item()).collect();
+    let file = std::fs::File::create(path).expect("create trace");
+    hvc_trace::write_trace(std::io::BufWriter::new(file), items).expect("write trace");
+}
+
+#[test]
+fn split_replay_merges_to_the_whole_run() {
+    let dir = std::env::temp_dir().join(format!("hvc-runner-split-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("split.hvct");
+    record_trace(&trace, 6_000);
+
+    let exp = Experiment {
+        workloads: vec!["gups".into()],
+        schemes: vec!["baseline".into(), "manyseg".into()],
+        refs: 5_000,
+        warm: 1_000,
+        mem: 16 << 20,
+        replay: Some(trace.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+
+    let whole = run_sweep(&exp, &RunOptions { jobs: 1, shards: 1 }).expect("whole run");
+    let split = run_sweep(&exp, &RunOptions { jobs: 1, shards: 5 }).expect("split run");
+
+    assert_eq!(whole.results.len(), split.results.len());
+    for (a, b) in whole.results.iter().zip(split.results.iter()) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(
+            a.report.instructions, b.report.instructions,
+            "{}",
+            a.cell.scheme
+        );
+        assert_eq!(a.report.cycles, b.report.cycles, "{}", a.cell.scheme);
+        assert_eq!(a.report.refs, b.report.refs);
+        assert_eq!(
+            a.report.translation, b.report.translation,
+            "{}",
+            a.cell.scheme
+        );
+        assert_eq!(a.report.baseline_tlb_misses, b.report.baseline_tlb_misses);
+        assert_eq!(a.report.cache, b.report.cache, "{}", a.cell.scheme);
+        assert_eq!(a.report.dram, b.report.dram, "{}", a.cell.scheme);
+        assert_eq!(a.report.minor_faults, b.report.minor_faults);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,7 +1,7 @@
 //! A generic set-associative TLB.
 
 use hvc_os::Pte;
-use hvc_types::{Asid, Cycles, VirtPage};
+use hvc_types::{Asid, Cycles, MergeStats, VirtPage};
 
 /// Geometry and latency of a TLB.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,10 +22,20 @@ impl TlbConfig {
     /// Panics if `entries` is not divisible into a power-of-two number of
     /// sets of `ways` entries.
     pub fn new(entries: usize, ways: usize, latency: Cycles) -> Self {
-        assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide into ways");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         let sets = entries / ways;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
-        TlbConfig { entries, ways, latency }
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
+        TlbConfig {
+            entries,
+            ways,
+            latency,
+        }
     }
 
     /// The paper's baseline L1 TLB: 64 entries, 4-way, 1 cycle.
@@ -74,6 +84,13 @@ impl TlbStats {
     pub fn miss_rate(&self) -> Option<f64> {
         let n = self.accesses();
         (n > 0).then(|| self.misses as f64 / n as f64)
+    }
+}
+
+impl MergeStats for TlbStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.hits += other.hits;
+        self.misses += other.misses;
     }
 }
 
@@ -180,7 +197,12 @@ impl Tlb {
                 .expect("non-empty set");
             set.swap_remove(slot);
         }
-        set.push(Entry { asid, vpn, pte, lru: tick });
+        set.push(Entry {
+            asid,
+            vpn,
+            pte,
+            lru: tick,
+        });
     }
 
     /// Invalidates one page's entry (TLB shootdown).
@@ -216,7 +238,11 @@ mod tests {
     use hvc_types::{Permissions, PhysFrame};
 
     fn pte(frame: u64) -> Pte {
-        Pte { frame: PhysFrame::new(frame), perm: Permissions::RW, shared: false }
+        Pte {
+            frame: PhysFrame::new(frame),
+            perm: Permissions::RW,
+            shared: false,
+        }
     }
 
     fn tiny() -> Tlb {

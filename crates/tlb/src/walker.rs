@@ -2,7 +2,7 @@
 
 use crate::WalkCache;
 use hvc_os::{Kernel, Pte, PT_LEVELS};
-use hvc_types::{Asid, Cycles, PhysAddr, VirtPage};
+use hvc_types::{Asid, Cycles, MergeStats, PhysAddr, VirtPage};
 
 /// Walker event counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -15,6 +15,15 @@ pub struct WalkerStats {
     pub skipped_reads: u64,
     /// Total cycles spent walking.
     pub walk_cycles: Cycles,
+}
+
+impl MergeStats for WalkerStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.walks += other.walks;
+        self.pte_reads += other.pte_reads;
+        self.skipped_reads += other.skipped_reads;
+        self.walk_cycles += other.walk_cycles;
+    }
 }
 
 /// A hardware radix page walker with paging-structure caches.
@@ -87,8 +96,14 @@ mod tests {
     fn kernel_with_page() -> (Kernel, Asid) {
         let mut k = Kernel::new(1 << 30, AllocPolicy::DemandPaging);
         let a = k.create_process().unwrap();
-        k.mmap(a, VirtAddr::new(0x10000), 0x10000, Permissions::RW, MapIntent::Private)
-            .unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x10000),
+            0x10000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
         k.translate_touch(a, VirtAddr::new(0x10000)).unwrap();
         k.translate_touch(a, VirtAddr::new(0x11000)).unwrap();
         (k, a)
@@ -115,8 +130,10 @@ mod tests {
     fn warm_walk_skips_upper_levels() {
         let (k, a) = kernel_with_page();
         let mut w = PageWalker::new();
-        w.walk(&k, a, VirtAddr::new(0x10000).page_number(), |_| Cycles::new(10))
-            .unwrap();
+        w.walk(&k, a, VirtAddr::new(0x10000).page_number(), |_| {
+            Cycles::new(10)
+        })
+        .unwrap();
         let mut reads = 0;
         let (_, lat) = w
             .walk(&k, a, VirtAddr::new(0x11000).page_number(), |_| {
@@ -134,7 +151,9 @@ mod tests {
         let (k, a) = kernel_with_page();
         let mut w = PageWalker::new();
         assert!(w
-            .walk(&k, a, VirtAddr::new(0xdead_0000).page_number(), |_| Cycles::new(1))
+            .walk(&k, a, VirtAddr::new(0xdead_0000).page_number(), |_| {
+                Cycles::new(1)
+            })
             .is_none());
     }
 
@@ -142,8 +161,10 @@ mod tests {
     fn flush_asid_forces_full_walk() {
         let (k, a) = kernel_with_page();
         let mut w = PageWalker::new();
-        w.walk(&k, a, VirtAddr::new(0x10000).page_number(), |_| Cycles::new(1))
-            .unwrap();
+        w.walk(&k, a, VirtAddr::new(0x10000).page_number(), |_| {
+            Cycles::new(1)
+        })
+        .unwrap();
         w.flush_asid(a);
         let mut reads = 0;
         w.walk(&k, a, VirtAddr::new(0x10000).page_number(), |_| {

@@ -86,7 +86,10 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<TraceReader<R>> {
     let mut header = [0u8; 16];
     reader.read_exact(&mut header)?;
     if header[0..4] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an HVCT trace (bad magic)"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an HVCT trace (bad magic)",
+        ));
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     if version != VERSION {
@@ -96,8 +99,24 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<TraceReader<R>> {
         ));
     }
     let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-    Ok(TraceReader { reader, remaining: count })
+    // A count whose byte size overflows u64 cannot describe any real
+    // file; reject it at open instead of failing item by item.
+    if count > u64::MAX / ITEM_BYTES as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("HVCT item count {count} overflows the addressable file size"),
+        ));
+    }
+    Ok(TraceReader {
+        reader,
+        remaining: count,
+    })
 }
+
+/// Cap on the `size_hint` lower bound, so a corrupt header claiming
+/// billions of items cannot make `collect` pre-allocate unbounded
+/// memory before the first read fails.
+const SIZE_HINT_CAP: usize = 1 << 20;
 
 /// Iterator over the items of a serialized trace.
 #[derive(Debug)]
@@ -123,15 +142,23 @@ impl<R: Read> Iterator for TraceReader<R> {
         self.remaining -= 1;
         let mut buf = [0u8; ITEM_BYTES];
         if let Err(e) = self.reader.read_exact(&mut buf) {
+            let missing = self.remaining + 1;
             self.remaining = 0;
-            return Some(Err(e));
+            return Some(Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("truncated HVCT trace: {missing} item(s) missing from the tail"),
+                )
+            } else {
+                e
+            }));
         }
         Some(decode_item(&buf))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
-        (n, Some(n))
+        (n.min(SIZE_HINT_CAP), Some(n))
     }
 }
 
@@ -162,7 +189,10 @@ fn decode_item(buf: &[u8; ITEM_BYTES]) -> io::Result<TraceItem> {
         }
     };
     if buf[7] != 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "non-zero reserved byte"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "non-zero reserved byte",
+        ));
     }
     let vaddr = VirtAddr::new(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")));
     Ok(TraceItem::new(gap, MemRef { asid, vaddr, kind }))
@@ -173,7 +203,14 @@ mod tests {
     use super::*;
 
     fn item(gap: u32, asid: u16, va: u64, kind: AccessKind) -> TraceItem {
-        TraceItem::new(gap, MemRef { asid: Asid::new(asid), vaddr: VirtAddr::new(va), kind })
+        TraceItem::new(
+            gap,
+            MemRef {
+                asid: Asid::new(asid),
+                vaddr: VirtAddr::new(va),
+                kind,
+            },
+        )
     }
 
     #[test]
@@ -187,8 +224,10 @@ mod tests {
         let n = write_trace(&mut buf, items.iter().copied()).unwrap();
         assert_eq!(n, 3);
         assert_eq!(buf.len(), 16 + 3 * ITEM_BYTES);
-        let back: Vec<TraceItem> =
-            read_trace(&buf[..]).unwrap().collect::<io::Result<_>>().unwrap();
+        let back: Vec<TraceItem> = read_trace(&buf[..])
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
         assert_eq!(back, items);
     }
 
@@ -222,8 +261,61 @@ mod tests {
         write_trace(&mut buf, [item(1, 1, 0x40, AccessKind::Read)]).unwrap();
         buf.truncate(buf.len() - 4);
         let mut r = read_trace(&buf[..]).unwrap();
-        assert!(r.next().unwrap().is_err());
+        let err = r.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
         assert!(r.next().is_none(), "iterator fuses after an error");
+    }
+
+    #[test]
+    fn nonzero_reserved_byte_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [item(1, 1, 0x40, AccessKind::Read)]).unwrap();
+        buf[16 + 7] = 1;
+        let mut r = read_trace(&buf[..]).unwrap();
+        let err = r.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("reserved"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_item_count_rejected_at_open() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn count_exceeding_data_errors_without_items_invented() {
+        // Header claims 5 items; only one is present.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [item(1, 1, 0x40, AccessKind::Read)]).unwrap();
+        buf[8..16].copy_from_slice(&5u64.to_le_bytes());
+        let r = read_trace(&buf[..]).unwrap();
+        let got: Vec<io::Result<TraceItem>> = r.collect();
+        assert_eq!(got.len(), 2, "one good item, then the truncation error");
+        assert!(got[0].is_ok());
+        assert!(got[1]
+            .as_ref()
+            .unwrap_err()
+            .to_string()
+            .contains("4 item(s) missing"));
+    }
+
+    #[test]
+    fn huge_claimed_count_cannot_force_preallocation() {
+        // A (valid-bound) count in the trillions with no data behind it:
+        // collect must fail fast instead of reserving memory for it.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        buf[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let r = read_trace(&buf[..]).unwrap();
+        assert!(r.size_hint().0 <= SIZE_HINT_CAP);
+        let out: io::Result<Vec<TraceItem>> = r.collect();
+        assert!(out.is_err());
     }
 
     #[test]
@@ -238,8 +330,11 @@ mod tests {
     #[test]
     fn size_hint_is_exact() {
         let mut buf = Vec::new();
-        write_trace(&mut buf, (0..10).map(|i| item(i, 1, u64::from(i) * 64, AccessKind::Read)))
-            .unwrap();
+        write_trace(
+            &mut buf,
+            (0..10).map(|i| item(i, 1, u64::from(i) * 64, AccessKind::Read)),
+        )
+        .unwrap();
         let r = read_trace(&buf[..]).unwrap();
         assert_eq!(r.size_hint(), (10, Some(10)));
     }

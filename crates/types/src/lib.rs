@@ -35,6 +35,7 @@ mod addr;
 mod cycles;
 mod error;
 mod ids;
+mod merge;
 mod perm;
 
 pub use access::{AccessKind, MemRef, Trace, TraceItem};
@@ -45,4 +46,5 @@ pub use addr::{
 pub use cycles::Cycles;
 pub use error::{HvcError, Result};
 pub use ids::{Asid, BlockName, Vmid};
+pub use merge::MergeStats;
 pub use perm::Permissions;

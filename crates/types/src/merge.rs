@@ -1,0 +1,105 @@
+//! Deterministic merging of statistics shards.
+//!
+//! Experiment sweeps (the `hvc-runner` crate) may split one logical run
+//! into several measurement windows or shards and combine the per-shard
+//! counters afterwards. [`MergeStats`] is the contract that makes that
+//! combination well-defined: merging must behave like elementwise
+//! addition of counters, so it is **associative** and **commutative**,
+//! and merging a default-constructed value is the identity.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_types::{Cycles, MergeStats};
+//!
+//! let mut a = Cycles::new(3);
+//! a.merge_from(&Cycles::new(4));
+//! assert_eq!(a, Cycles::new(7));
+//! ```
+
+use crate::cycles::Cycles;
+
+/// Counter-style statistics that can be combined across shards.
+///
+/// Implementations must satisfy, for all `a`, `b`, `c`:
+///
+/// * **identity** — `a.merge_from(&Default::default())` leaves `a`
+///   unchanged;
+/// * **commutativity** — `a + b == b + a` (writing `+` for merge);
+/// * **associativity** — `(a + b) + c == a + (b + c)`.
+///
+/// Plain counters satisfy these via wrapping-free `u64` addition;
+/// derived metrics (rates, means) must be recomputed from the merged
+/// counters rather than merged themselves.
+pub trait MergeStats {
+    /// Folds `other`'s counts into `self`.
+    fn merge_from(&mut self, other: &Self);
+
+    /// Returns the merge of two values without mutating either.
+    #[must_use]
+    fn merged(&self, other: &Self) -> Self
+    where
+        Self: Clone,
+    {
+        let mut out = self.clone();
+        out.merge_from(other);
+        out
+    }
+}
+
+impl MergeStats for u64 {
+    fn merge_from(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+impl MergeStats for Cycles {
+    fn merge_from(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+impl<T: MergeStats + Clone + Default> MergeStats for Vec<T> {
+    /// Merges elementwise; a shorter vector is treated as padded with
+    /// default (all-zero) entries, so shards that saw different core
+    /// counts still combine deterministically.
+    fn merge_from(&mut self, other: &Self) {
+        if self.len() < other.len() {
+            self.resize(other.len(), T::default());
+        }
+        for (dst, src) in self.iter_mut().zip(other.iter()) {
+            dst.merge_from(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_and_cycles_add() {
+        let mut n = 5u64;
+        n.merge_from(&7);
+        assert_eq!(n, 12);
+        assert_eq!(Cycles::new(2).merged(&Cycles::new(9)), Cycles::new(11));
+    }
+
+    #[test]
+    fn vec_pads_shorter_side() {
+        let mut a = vec![1u64, 2];
+        a.merge_from(&vec![10, 20, 30]);
+        assert_eq!(a, vec![11, 22, 30]);
+
+        let mut b = vec![1u64, 2, 3];
+        b.merge_from(&vec![10]);
+        assert_eq!(b, vec![11, 2, 3]);
+    }
+
+    #[test]
+    fn default_is_identity() {
+        let mut v = vec![4u64, 5];
+        v.merge_from(&Vec::new());
+        assert_eq!(v, vec![4, 5]);
+    }
+}

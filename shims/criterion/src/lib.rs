@@ -1,0 +1,90 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the interface its benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`], and
+//! [`criterion_main!`]. Instead of criterion's statistical analysis it
+//! does a short calibration pass followed by one timed batch and prints
+//! a `name: time/iter` line — enough for relative comparisons while
+//! keeping `cargo bench` self-contained.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque barrier against compiler optimization of benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count filling ~50 ms.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || n >= 1 << 30 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+}
+
+/// The benchmark driver (a minimal subset of criterion's).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs the benchmark `f` under `name` and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        let t = b.ns_per_iter;
+        if t >= 1e6 {
+            println!("{name:<40} {:>12.3} ms/iter", t / 1e6);
+        } else if t >= 1e3 {
+            println!("{name:<40} {:>12.3} µs/iter", t / 1e3);
+        } else {
+            println!("{name:<40} {t:>12.1} ns/iter");
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,539 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the proptest API its test suites use: the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, the
+//! `prop_assert*` family, [`Strategy`] with `prop_map`, [`prop_oneof!`],
+//! [`Just`], `any::<T>()`, tuple strategies, integer/float range
+//! strategies, and the `prop::{collection, option, sample}` modules.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   seed instead of a minimized input.
+//! * **Deterministic seeding.** Case `i` of test `t` is seeded from
+//!   `fnv(t) ⊕ i`, so failures reproduce exactly across runs and
+//!   machines. Set `PROPTEST_CASES` to override the case count
+//!   globally.
+//! * `prop_assert!` panics (like `assert!`) rather than returning a
+//!   `TestCaseError`; test functions observe no difference.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (mirrors `proptest::test_runner`).
+pub mod test_runner {
+    /// Controls how many random cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// The effective case count (`PROPTEST_CASES` overrides).
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps the heavier
+            // simulator properties fast while still exploring broadly.
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies (mirrors `proptest::strategy`).
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of one type.
+    ///
+    /// The real crate's strategies produce shrinkable value *trees*;
+    /// this shim generates plain values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A strategy producing always the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A boxed, object-safe strategy (what [`prop_oneof!`] stores).
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    /// Boxes a strategy (used by [`prop_oneof!`] expansion).
+    pub fn boxed<S>(s: S) -> BoxedStrategy<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies of one value type.
+    pub struct Union<V> {
+        choices: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `choices` is empty.
+        pub fn new(choices: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(
+                !choices.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { choices }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let idx = rng.gen_range(0..self.choices.len());
+            self.choices[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+/// `any::<T>()` support (mirrors `proptest::arbitrary`).
+pub mod arbitrary {
+    use super::*;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy over every value of `T`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> strategy::Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `elem` values with a length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a cardinality drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates sets of `elem` values with a cardinality in `size`
+    /// (best effort: duplicates are redrawn a bounded number of times,
+    /// so a domain smaller than the requested size yields fewer
+    /// elements).
+    pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(20) + 16 {
+                set.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// `Option` strategies (mirrors `proptest::option`).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy for `Option<T>`: `Some` half of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` or `Some(value of inner)` with equal odds.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen::<bool>() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling strategies (mirrors `proptest::sample`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy choosing uniformly among fixed values.
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    /// Chooses one of `values` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select { values }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies.
+pub mod prop {
+    pub use super::collection;
+    pub use super::option;
+    pub use super::sample;
+}
+
+/// Deterministic per-case seeding support used by [`proptest!`].
+#[doc(hidden)]
+pub mod __runner {
+    use super::*;
+
+    /// FNV-1a hash of the test name (stable across runs/platforms).
+    pub fn name_hash(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The RNG for case `case` of test `name`.
+    pub fn case_rng(name: &str, case: u32) -> StdRng {
+        StdRng::seed_from_u64(name_hash(name) ^ (u64::from(case) << 32 | u64::from(case)))
+    }
+
+    /// Runs one case, decorating any panic with the case coordinates so
+    /// failures are reproducible without shrinking.
+    pub fn run_case<F: FnOnce() + std::panic::UnwindSafe>(name: &str, case: u32, f: F) {
+        if let Err(panic) = std::panic::catch_unwind(f) {
+            eprintln!(
+                "proptest: property '{name}' failed at deterministic case {case} \
+                 (rerun reproduces it exactly)"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Everything a property-test file needs (mirrors
+/// `proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ..)` runs
+/// its body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::Config::effective_cases(&$cfg);
+            for case in 0..cases {
+                let mut rng = $crate::__runner::case_rng(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $crate::__runner::run_case(
+                    stringify!($name),
+                    case,
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_generate_in_bounds(x in 10u64..20, y in 0u8..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 3);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in prop::collection::vec((0u32..10).prop_map(|n| n * 2), 1..8),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|n| n % 2 == 0));
+            // `flag` takes both values across cases; just make sure the
+            // strategy produced a real bool.
+            prop_assert!(flag == (flag as u8 == 1));
+        }
+
+        #[test]
+        fn oneof_selects_each_arm(k in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(k == 1 || k == 2 || (5..7).contains(&k));
+        }
+
+        #[test]
+        fn btree_set_respects_size(s in prop::collection::btree_set(0u64..1000, 2..12)) {
+            prop_assert!(s.len() >= 2 && s.len() < 12, "len {}", s.len());
+        }
+
+        #[test]
+        fn select_picks_members(v in prop::sample::select(vec![3u64, 5, 8])) {
+            prop_assert!([3u64, 5, 8].contains(&v));
+        }
+
+        #[test]
+        fn option_of_produces_both(o in prop::option::of(0u8..4)) {
+            if let Some(x) = o { prop_assert!(x < 4); }
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        use crate::strategy::Strategy;
+        let a = (0u64..1000).generate(&mut crate::__runner::case_rng("t", 3));
+        let b = (0u64..1000).generate(&mut crate::__runner::case_rng("t", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

@@ -4,19 +4,22 @@
 //! ```sh
 //! hvcsim --workload gups --scheme manyseg --refs 1000000
 //! hvcsim --workload postgres --scheme dtlb:4096 --llc 8M --warm 200000
+//! hvcsim sweep --preset fig9 --jobs 4 --out fig9.json
+//! hvcsim sweep --workloads gups,mcf --schemes baseline,manyseg --out report.json
 //! hvcsim --list
 //! ```
 
-use hvc::core::{EnergyModel, SystemConfig, SystemSim, TranslationScheme};
-use hvc::os::{AllocPolicy, Kernel};
-use hvc::workloads::{apps, WorkloadSpec};
+use hvc::core::{EnergyModel, SystemConfig, SystemSim};
+use hvc::os::Kernel;
+use hvc::runner::{params, presets, run_sweep, sweep_report, Experiment, RunOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 hvcsim — hybrid virtual caching simulator (ISCA 2016 reproduction)
 
 USAGE:
-    hvcsim [OPTIONS]
+    hvcsim [OPTIONS]                 run one simulation
+    hvcsim sweep [SWEEP OPTIONS]     run an experiment grid in parallel
 
 OPTIONS:
     --workload <name>    workload profile (see --list)        [default: gups]
@@ -34,66 +37,219 @@ OPTIONS:
     --replay <path>      replay a saved trace instead of generating one
     --list               list workload profiles and exit
     --help               show this help
+
+SWEEP OPTIONS:
+    --preset <name>      a named grid (see --list-presets); grid axes
+                         below override the preset's
+    --workloads <a,b>    comma-separated workload axis
+    --schemes <a,b>      comma-separated scheme axis
+    --seeds <a,b>        comma-separated base-seed axis       [default: 42]
+    --llc <a,b>          comma-separated LLC-capacity axis    [default: 2M]
+    --refs / --warm / --mem / --cores / --ifetch / --replay   as above
+    --jobs <n>           worker threads                       [default: 1]
+    --shards <n>         measurement windows merged per cell  [default: 1]
+    --out <path>         write the JSON report here (default: stdout)
+    --list-presets       list presets and exit
 ";
 
-fn parse_size(s: &str) -> Option<u64> {
-    let (num, mult) = match s.as_bytes().last()? {
-        b'K' | b'k' => (&s[..s.len() - 1], 1u64 << 10),
-        b'M' | b'm' => (&s[..s.len() - 1], 1u64 << 20),
-        b'G' | b'g' => (&s[..s.len() - 1], 1u64 << 30),
-        _ => (s, 1),
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&args[1..])
+    } else {
+        single_main(&args)
+    }
+}
+
+/// `hvcsim sweep ...`: run a grid and write a JSON report.
+fn sweep_main(args: &[String]) -> ExitCode {
+    let mut exp: Option<Experiment> = None;
+    let mut workloads: Option<Vec<String>> = None;
+    let mut schemes: Option<Vec<String>> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut llc: Option<Vec<u64>> = None;
+    let mut refs: Option<usize> = None;
+    let mut warm: Option<usize> = None;
+    let mut mem: Option<u64> = None;
+    let mut cores: Option<usize> = None;
+    let mut ifetch = false;
+    let mut replay: Option<String> = None;
+    let mut opts = RunOptions::default();
+    let mut out: Option<String> = None;
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> Option<String> {
+        *i += 1;
+        args.get(*i - 1).cloned()
     };
-    num.parse::<u64>().ok().map(|n| n * mult)
-}
-
-fn workload_by_name(name: &str, gups_mem: u64) -> Option<WorkloadSpec> {
-    Some(match name {
-        "gups" => apps::gups(gups_mem),
-        "milc" => apps::milc(),
-        "mcf" => apps::mcf(),
-        "xalancbmk" => apps::xalancbmk(),
-        "tigr" => apps::tigr(),
-        "omnetpp" => apps::omnetpp(),
-        "soplex" => apps::soplex(),
-        "astar" => apps::astar(),
-        "cactus" => apps::cactus(),
-        "gems" => apps::gems(),
-        "canneal" => apps::canneal(),
-        "stream" => apps::stream(),
-        "mummer" => apps::mummer(),
-        "memcached" => apps::memcached(),
-        "cg" => apps::npb_cg(),
-        "graph500" => apps::graph500(),
-        "ferret" => apps::ferret(),
-        "postgres" => apps::postgres(),
-        "specjbb" => apps::specjbb(),
-        "firefox" => apps::firefox(),
-        "apache" => apps::apache(),
-        _ => return None,
-    })
-}
-
-fn parse_scheme(s: &str) -> Option<(TranslationScheme, AllocPolicy)> {
-    let demand = AllocPolicy::DemandPaging;
-    let eager = AllocPolicy::EagerSegments { split: 1 };
-    Some(match s {
-        "baseline" => (TranslationScheme::Baseline, demand),
-        "ideal" => (TranslationScheme::Ideal, demand),
-        "manyseg" => (TranslationScheme::HybridManySegment { segment_cache: true }, eager),
-        "manyseg-nosc" => (TranslationScheme::HybridManySegment { segment_cache: false }, eager),
-        _ => {
-            if let Some(n) = s.strip_prefix("dtlb:") {
-                (TranslationScheme::HybridDelayedTlb(n.parse().ok()?), demand)
-            } else if let Some(n) = s.strip_prefix("enigma:") {
-                (TranslationScheme::EnigmaDelayedTlb(n.parse().ok()?), demand)
-            } else {
-                return None;
+    while i < args.len() {
+        let arg = args[i].clone();
+        i += 1;
+        let bad = || {
+            eprintln!("invalid or missing value for {arg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list-presets" => {
+                println!("presets:");
+                for (name, summary) in presets::PRESET_NAMES {
+                    println!("  {name:<8} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--preset" => match next(&mut i).as_deref().and_then(presets::preset) {
+                Some(p) => exp = Some(p),
+                None => {
+                    eprintln!("unknown preset (try --list-presets)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workloads" => match next(&mut i) {
+                Some(v) => workloads = Some(split_list(&v)),
+                None => return bad(),
+            },
+            "--schemes" => match next(&mut i) {
+                Some(v) => schemes = Some(split_list(&v)),
+                None => return bad(),
+            },
+            "--seeds" => {
+                match next(&mut i)
+                    .map(|v| split_list(&v))
+                    .and_then(|l| l.iter().map(|s| s.parse().ok()).collect())
+                {
+                    Some(v) => seeds = Some(v),
+                    None => return bad(),
+                }
+            }
+            "--llc" => {
+                match next(&mut i)
+                    .map(|v| split_list(&v))
+                    .and_then(|l| l.iter().map(|s| params::parse_size(s)).collect())
+                {
+                    Some(v) => llc = Some(v),
+                    None => return bad(),
+                }
+            }
+            "--refs" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => refs = Some(v),
+                None => return bad(),
+            },
+            "--warm" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => warm = Some(v),
+                None => return bad(),
+            },
+            "--mem" => match next(&mut i).and_then(|v| params::parse_size(&v)) {
+                Some(v) => mem = Some(v),
+                None => return bad(),
+            },
+            "--cores" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cores = Some(v),
+                None => return bad(),
+            },
+            "--ifetch" => ifetch = true,
+            "--replay" => match next(&mut i) {
+                Some(v) => replay = Some(v),
+                None => return bad(),
+            },
+            "--jobs" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.jobs = v,
+                _ => return bad(),
+            },
+            "--shards" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.shards = v,
+                _ => return bad(),
+            },
+            "--out" => match next(&mut i) {
+                Some(v) => out = Some(v),
+                None => return bad(),
+            },
+            _ => {
+                eprintln!("unknown option {arg}\n\n{USAGE}");
+                return ExitCode::FAILURE;
             }
         }
-    })
+    }
+
+    // Grid flags override the preset; with no preset they refine the
+    // default single-cell grid.
+    let mut exp = exp.unwrap_or_default();
+    if let Some(v) = workloads {
+        exp.workloads = v;
+    }
+    if let Some(v) = schemes {
+        exp.schemes = v;
+    }
+    if let Some(v) = seeds {
+        exp.seeds = v;
+    }
+    if let Some(v) = llc {
+        exp.llc_bytes = v;
+    }
+    if let Some(v) = refs {
+        exp.refs = v;
+    }
+    if let Some(v) = warm {
+        exp.warm = v;
+    }
+    if let Some(v) = mem {
+        exp.mem = v;
+    }
+    if let Some(v) = cores {
+        exp.cores = v;
+    }
+    if ifetch {
+        exp.ifetch = true;
+    }
+    if replay.is_some() {
+        exp.replay = replay;
+    }
+
+    if let Err(e) = exp.validate() {
+        eprintln!("invalid sweep: {e}");
+        return ExitCode::FAILURE;
+    }
+    let cells = exp.cells().len();
+    eprintln!(
+        "sweeping '{}': {cells} cells × {} refs on {} thread(s)…",
+        exp.name, exp.refs, opts.jobs
+    );
+    let outcome = match run_sweep(&exp, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("swept {cells} cells in {:.2}s", outcome.wall.as_secs_f64());
+
+    let text = sweep_report(&exp, &opts, &outcome).to_pretty();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+/// Classic single-run mode.
+fn single_main(args: &[String]) -> ExitCode {
     let mut workload = "gups".to_string();
     let mut scheme = "manyseg".to_string();
     let mut refs = 500_000usize;
@@ -106,7 +262,6 @@ fn main() -> ExitCode {
     let mut save_trace: Option<String> = None;
     let mut replay: Option<String> = None;
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let next = |i: &mut usize| -> Option<String> {
         *i += 1;
@@ -152,11 +307,11 @@ fn main() -> ExitCode {
                 Some(v) => seed = v,
                 None => return bad(),
             },
-            "--mem" => match next(&mut i).and_then(|v| parse_size(&v)) {
+            "--mem" => match next(&mut i).and_then(|v| params::parse_size(&v)) {
                 Some(v) => mem = v,
                 None => return bad(),
             },
-            "--llc" => match next(&mut i).and_then(|v| parse_size(&v)) {
+            "--llc" => match next(&mut i).and_then(|v| params::parse_size(&v)) {
                 Some(v) => llc = v,
                 None => return bad(),
             },
@@ -180,11 +335,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let Some(spec) = workload_by_name(&workload, mem) else {
+    let Some(spec) = params::workload_by_name(&workload, mem) else {
         eprintln!("unknown workload '{workload}' (try --list)");
         return ExitCode::FAILURE;
     };
-    let Some((scheme, policy)) = parse_scheme(&scheme) else {
+    let Some((scheme, policy)) = params::parse_scheme(&scheme) else {
         eprintln!("unknown scheme '{scheme}'\n\n{USAGE}");
         return ExitCode::FAILURE;
     };
@@ -192,17 +347,13 @@ fn main() -> ExitCode {
     let mut config = SystemConfig::isca2016();
     config.hierarchy = hvc::cache::HierarchyConfig::isca2016(cores.max(1));
     if llc != 2 << 20 {
-        // 16-way, 64 B lines: capacity must divide into a power-of-two
-        // number of sets.
-        let lines = llc / 64;
-        if lines == 0 || !lines.is_multiple_of(16) || !(lines / 16).is_power_of_two() {
+        if !params::valid_llc(llc) {
             eprintln!(
                 "--llc {llc} is not a valid 16-way geometry (use a power of two ≥ 64K, e.g. 2M, 8M)"
             );
             return ExitCode::FAILURE;
         }
-        config.hierarchy.llc =
-            hvc::cache::CacheConfig::new(llc, 16, hvc::types::Cycles::new(27));
+        config.hierarchy.llc = hvc::cache::CacheConfig::new(llc, 16, hvc::types::Cycles::new(27));
     }
     config.model_ifetch = ifetch;
 
@@ -230,7 +381,8 @@ fn main() -> ExitCode {
     let start = std::time::Instant::now();
     let report = if let Some(path) = &replay {
         // Replay a saved trace (the workload instance still provided the
-        // memory layout; the stream comes from the file).
+        // memory layout; the stream comes from the file). A corrupt
+        // trace aborts the run instead of silently truncating it.
         let file = match std::fs::File::open(path) {
             Ok(f) => f,
             Err(e) => {
@@ -245,8 +397,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let items: Vec<hvc::types::TraceItem> = match reader.take(refs).collect() {
+            Ok(items) => items,
+            Err(e) => {
+                eprintln!("corrupt trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let mlp = wl.mlp();
-        sim.run_trace(reader.map_while(Result::ok).take(refs), mlp)
+        sim.run_trace(items, mlp)
     } else if let Some(path) = &save_trace {
         let items: Vec<hvc::types::TraceItem> = (0..refs).map(|_| wl.next_item()).collect();
         let file = match std::fs::File::create(path) {
@@ -256,7 +415,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = hvc::trace::write_trace(std::io::BufWriter::new(file), items.iter().copied()) {
+        if let Err(e) =
+            hvc::trace::write_trace(std::io::BufWriter::new(file), items.iter().copied())
+        {
             eprintln!("cannot write trace {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -282,8 +443,14 @@ fn main() -> ExitCode {
     println!("segment-cache hits  {:>12}", t.sc_lookups);
     println!("PTE reads           {:>12}", t.pte_reads);
     println!("shared accesses     {:>12}", t.shared_accesses);
-    println!("LLC miss rate       {:>11.1}%", report.cache.llc.miss_rate().unwrap_or(0.0) * 100.0);
-    println!("DRAM mean latency   {:>12.1}", report.dram.mean_latency().unwrap_or(0.0));
+    println!(
+        "LLC miss rate       {:>11.1}%",
+        report.cache.llc.miss_rate().unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "DRAM mean latency   {:>12.1}",
+        report.dram.mean_latency().unwrap_or(0.0)
+    );
     let energy = EnergyModel::cacti_32nm().breakdown(t, 4096).total() / 1e6;
     println!("translation energy  {:>10.2} µJ", energy);
     println!("minor faults        {:>12}", report.minor_faults);

@@ -23,6 +23,7 @@
 //! | [`virt`] | hypervisor and nested (2D) translation |
 //! | [`core`] | translation schemes, system simulator, energy model |
 //! | [`workloads`] | synthetic application trace generators |
+//! | [`runner`] | parallel experiment sweeps + JSON reports |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use hvc_core as core;
 pub use hvc_filter as filter;
 pub use hvc_mem as mem;
 pub use hvc_os as os;
+pub use hvc_runner as runner;
 pub use hvc_segment as segment;
 pub use hvc_tlb as tlb;
 pub use hvc_trace as trace;

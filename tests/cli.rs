@@ -35,10 +35,25 @@ fn bad_arguments_fail_cleanly() {
 #[test]
 fn small_simulation_reports_ipc() {
     let out = hvcsim()
-        .args(["--workload", "astar", "--scheme", "baseline", "--refs", "5000", "--warm", "0", "--mem", "16M"])
+        .args([
+            "--workload",
+            "astar",
+            "--scheme",
+            "baseline",
+            "--refs",
+            "5000",
+            "--warm",
+            "0",
+            "--mem",
+            "16M",
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("IPC"));
     assert!(text.contains("front TLB lookups"));
@@ -53,20 +68,42 @@ fn trace_save_then_replay_is_bit_identical() {
     // Saving a trace runs the simulation on the captured items.
     let saved = hvcsim()
         .args([
-            "--workload", "omnetpp", "--scheme", "dtlb:1024", "--refs", "8000", "--warm", "0",
-            "--seed", "5", "--save-trace",
+            "--workload",
+            "omnetpp",
+            "--scheme",
+            "dtlb:1024",
+            "--refs",
+            "8000",
+            "--warm",
+            "0",
+            "--seed",
+            "5",
+            "--save-trace",
         ])
         .arg(&trace)
         .output()
         .expect("spawn");
-    assert!(saved.status.success(), "stderr: {}", String::from_utf8_lossy(&saved.stderr));
+    assert!(
+        saved.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&saved.stderr)
+    );
 
     // Replaying the same trace under the same scheme must reproduce the
     // exact same cycle count.
     let replayed = hvcsim()
         .args([
-            "--workload", "omnetpp", "--scheme", "dtlb:1024", "--refs", "8000", "--warm", "0",
-            "--seed", "5", "--replay",
+            "--workload",
+            "omnetpp",
+            "--scheme",
+            "dtlb:1024",
+            "--refs",
+            "8000",
+            "--warm",
+            "0",
+            "--seed",
+            "5",
+            "--replay",
         ])
         .arg(&trace)
         .output()
@@ -81,5 +118,67 @@ fn trace_save_then_replay_is_bit_identical() {
             .to_string()
     };
     assert_eq!(cycles(&saved.stdout), cycles(&replayed.stdout));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_reports_every_cell_and_is_jobs_invariant() {
+    let dir = std::env::temp_dir().join(format!("hvcsim-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |jobs: &str, out: &std::path::Path| {
+        let status = hvcsim()
+            .args([
+                "sweep",
+                "--workloads",
+                "gups",
+                "--schemes",
+                "baseline,ideal",
+                "--refs",
+                "3000",
+                "--warm",
+                "500",
+                "--mem",
+                "16M",
+                "--jobs",
+                jobs,
+                "--out",
+            ])
+            .arg(out)
+            .output()
+            .expect("spawn");
+        assert!(
+            status.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&status.stderr)
+        );
+    };
+    let parallel = dir.join("jobs2.json");
+    let serial = dir.join("jobs1.json");
+    run("2", &parallel);
+    run("1", &serial);
+
+    let doc = hvc::runner::json::parse(&std::fs::read_to_string(&parallel).unwrap())
+        .expect("report parses as JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("hvc-sweep-report/1")
+    );
+    let cells = doc.get("cells").unwrap().as_array().unwrap();
+    assert_eq!(cells.len(), 2, "one cell per scheme");
+    for (i, scheme) in ["baseline", "ideal"].iter().enumerate() {
+        assert_eq!(cells[i].get("index").unwrap().as_u64(), Some(i as u64));
+        assert_eq!(cells[i].get("scheme").unwrap().as_str(), Some(*scheme));
+        let stats = cells[i].get("stats").unwrap();
+        assert!(stats.get("instructions").unwrap().as_u64().unwrap() > 0);
+        assert!(stats.get("cycles").unwrap().as_u64().unwrap() > 0);
+    }
+
+    // Per-cell statistics must not depend on the worker count: the
+    // serialized cells arrays are byte-identical.
+    let serial_doc = hvc::runner::json::parse(&std::fs::read_to_string(&serial).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("cells").unwrap().to_pretty(),
+        serial_doc.get("cells").unwrap().to_pretty()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
