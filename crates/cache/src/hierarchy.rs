@@ -2,6 +2,7 @@
 //! inclusive LLC, MESI-style coherence over hybrid block names.
 
 use crate::{Cache, CacheStats, HierarchyConfig, Victim};
+use hvc_obs::LatencyHistogram;
 use hvc_types::{AccessKind, Asid, BlockName, Cycles, Permissions};
 
 /// The outcome of one hierarchy access.
@@ -41,6 +42,7 @@ pub struct Hierarchy {
     llc: Cache,
     coherence_invalidations: u64,
     memory_writebacks: u64,
+    lookup_latency: LatencyHistogram,
 }
 
 impl Hierarchy {
@@ -60,6 +62,7 @@ impl Hierarchy {
             config,
             coherence_invalidations: 0,
             memory_writebacks: 0,
+            lookup_latency: LatencyHistogram::default(),
         }
     }
 
@@ -79,6 +82,18 @@ impl Hierarchy {
     ///
     /// Panics if `core` is out of range.
     pub fn access_with_perm(
+        &mut self,
+        core: usize,
+        name: BlockName,
+        kind: AccessKind,
+        perm: Permissions,
+    ) -> AccessResult {
+        let result = self.access_with_perm_inner(core, name, kind, perm);
+        self.lookup_latency.record(result.latency);
+        result
+    }
+
+    fn access_with_perm_inner(
         &mut self,
         core: usize,
         name: BlockName,
@@ -153,6 +168,12 @@ impl Hierarchy {
     /// system simulator uses this so the fill can carry the permissions
     /// produced by delayed translation ([`Hierarchy::fill_miss`]).
     pub fn lookup(&mut self, core: usize, name: BlockName, kind: AccessKind) -> AccessResult {
+        let result = self.lookup_inner(core, name, kind);
+        self.lookup_latency.record(result.latency);
+        result
+    }
+
+    fn lookup_inner(&mut self, core: usize, name: BlockName, kind: AccessKind) -> AccessResult {
         assert!(core < self.config.cores, "core {core} out of range");
         let write = kind.is_write();
         if write && self.config.cores > 1 {
@@ -281,6 +302,7 @@ impl Hierarchy {
             llc: self.llc.stats().clone(),
             coherence_invalidations: self.coherence_invalidations,
             memory_writebacks: self.memory_writebacks,
+            lookup_latency: self.lookup_latency.clone(),
         }
     }
 
@@ -293,6 +315,7 @@ impl Hierarchy {
         self.llc.reset_stats();
         self.coherence_invalidations = 0;
         self.memory_writebacks = 0;
+        self.lookup_latency = LatencyHistogram::default();
     }
 
     // --- internals ---

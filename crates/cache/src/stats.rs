@@ -1,5 +1,6 @@
 //! Cache statistics.
 
+use hvc_obs::LatencyHistogram;
 use hvc_types::MergeStats;
 
 /// Counters for a single cache level.
@@ -56,6 +57,9 @@ pub struct CacheStats {
     /// Writebacks that reached memory (dirty LLC victims plus coherence
     /// downgrades).
     pub memory_writebacks: u64,
+    /// Distribution of on-chip lookup latencies (one sample per
+    /// hierarchy access, DRAM time excluded).
+    pub lookup_latency: LatencyHistogram,
 }
 
 impl MergeStats for CacheStats {
@@ -69,6 +73,7 @@ impl MergeStats for CacheStats {
         self.llc.merge_from(&other.llc);
         self.coherence_invalidations += other.coherence_invalidations;
         self.memory_writebacks += other.memory_writebacks;
+        self.lookup_latency.merge_from(&other.lookup_latency);
     }
 }
 
@@ -92,6 +97,7 @@ mod tests {
             llc: one(4),
             coherence_invalidations: 5,
             memory_writebacks: 6,
+            ..Default::default()
         };
         let b = CacheStats {
             l1i: vec![one(10), one(20)],
@@ -100,6 +106,7 @@ mod tests {
             llc: one(50),
             coherence_invalidations: 7,
             memory_writebacks: 8,
+            ..Default::default()
         };
         a.merge_from(&b);
         assert_eq!(a.l1i, vec![one(1).merged(&one(10)), one(20)]);

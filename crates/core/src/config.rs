@@ -85,7 +85,7 @@ pub struct SystemConfig {
     /// Overlap delayed translation with the LLC access instead of
     /// starting it only after the miss is known (the paper's Section IV-C
     /// trade-off: "parallel accesses to the delayed translation and LLCs
-    /// can improve the performance, [but] increase the energy consumption
+    /// can improve the performance, \[but\] increase the energy consumption
     /// … to reduce the energy overhead, an alternative way is to access
     /// delayed translation serially"). Serial is the paper's default and
     /// ours; parallel hides up to one LLC latency of translation time but
@@ -105,6 +105,10 @@ pub struct SystemConfig {
     /// access"). Off by default; the headline experiments measure the
     /// data side as the paper's Section III-C does.
     pub model_ifetch: bool,
+    /// Event-tracer ring-buffer capacity. `0` (the default) disables
+    /// tracing entirely — the simulator then pays one branch per
+    /// candidate event and allocates nothing.
+    pub trace_capacity: usize,
 }
 
 impl SystemConfig {
@@ -123,6 +127,7 @@ impl SystemConfig {
             parallel_delayed: false,
             prefetch_next_line: false,
             model_ifetch: false,
+            trace_capacity: 0,
         }
     }
 

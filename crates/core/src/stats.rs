@@ -2,6 +2,8 @@
 
 use hvc_cache::CacheStats;
 use hvc_mem::DramStats;
+use hvc_obs::ObsReport;
+use hvc_os::KernelStats;
 use hvc_types::MergeStats;
 
 /// Event counts of the translation machinery, fed to the energy model
@@ -113,6 +115,12 @@ pub struct RunReport {
     pub dram: DramStats,
     /// Demand-paging minor faults during the run.
     pub minor_faults: u64,
+    /// OS kernel event counters (shootdowns, flushes, filter
+    /// maintenance) for the measured window.
+    pub os: KernelStats,
+    /// Observability record: latency histograms and the
+    /// cycle-attribution ledger.
+    pub obs: ObsReport,
 }
 
 impl RunReport {
@@ -148,6 +156,8 @@ impl MergeStats for RunReport {
         self.cache.merge_from(&other.cache);
         self.dram.merge_from(&other.dram);
         self.minor_faults += other.minor_faults;
+        self.os.merge_from(&other.os);
+        self.obs.merge_from(&other.obs);
     }
 }
 

@@ -5,10 +5,13 @@ use crate::core_model::CoreModel;
 use crate::stats::{RunReport, TranslationCounters};
 use hvc_cache::Hierarchy;
 use hvc_mem::Dram;
-use hvc_os::{FlushRequest, Kernel, Pte};
+use hvc_obs::{Component, CycleAttribution, EventTracer, ObsReport, TraceEvent};
+use hvc_os::{FlushRequest, Kernel, KernelStats, Pte};
 use hvc_segment::ManySegmentTranslator;
 use hvc_tlb::{PageWalker, Tlb, TlbHit, TwoLevelTlb};
-use hvc_types::{AccessKind, Asid, BlockName, Cycles, MemRef, PhysAddr, TraceItem, VirtAddr};
+use hvc_types::{
+    AccessKind, Asid, BlockName, Cycles, MemRef, MergeStats, PhysAddr, TraceItem, VirtAddr,
+};
 use hvc_workloads::WorkloadInstance;
 use std::collections::HashMap;
 
@@ -41,9 +44,16 @@ pub struct SystemSim {
     last_asid: Vec<Option<Asid>>,
     counters: TranslationCounters,
     refs: u64,
-    /// Kernel minor-fault count at the last [`SystemSim::reset_stats`],
-    /// so reports window faults like every other counter.
-    fault_mark: u64,
+    /// Kernel counters at the last [`SystemSim::reset_stats`], so
+    /// reports window OS events like every other counter.
+    kernel_mark: KernelStats,
+    /// Latency histograms + cycle attribution for the current window.
+    /// Attribution is charged only at the latency-composition points of
+    /// this module, so its components sum exactly to
+    /// `obs.mem_latency.total()`.
+    obs: ObsReport,
+    /// Optional bounded event tracer (`config.trace_capacity > 0`).
+    tracer: Option<EventTracer>,
 }
 
 impl SystemSim {
@@ -81,12 +91,14 @@ impl SystemSim {
             placement: HashMap::new(),
             fetch_cursor: HashMap::new(),
             last_asid: vec![None; cores],
+            tracer: (config.trace_capacity > 0).then(|| EventTracer::new(config.trace_capacity)),
             kernel,
             config,
             scheme,
             counters: TranslationCounters::default(),
             refs: 0,
-            fault_mark: 0,
+            kernel_mark: KernelStats::default(),
+            obs: ObsReport::default(),
         }
     }
 
@@ -105,6 +117,43 @@ impl SystemSim {
     /// The kernel (for post-run inspection of spaces and segments).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// The event tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&EventTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Enables (or resizes) the bounded event tracer at runtime; a zero
+    /// capacity disables it again.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = (capacity > 0).then(|| EventTracer::new(capacity));
+    }
+
+    /// Records a trace event if tracing is on (~one branch when off).
+    #[inline]
+    fn trace(&mut self, name: &'static str, cat: &'static str, dur: Cycles, core: usize) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                name,
+                cat,
+                ts: self.core.now().get(),
+                dur: dur.get(),
+                tid: core as u32,
+            });
+        }
+    }
+
+    /// Attributes an on-chip probe's cycles to the level that served it.
+    #[inline]
+    fn attribute_probe(&mut self, hit_level: Option<u8>, latency: Cycles) {
+        let component = match hit_level {
+            Some(0) => Component::L1Hit,
+            Some(1) => Component::L2Hit,
+            Some(2) => Component::LlcHit,
+            _ => Component::MissProbe,
+        };
+        self.obs.attribution.add(component, latency);
     }
 
     /// Resets all statistics (cache/TLB/filter contents are kept, and
@@ -130,7 +179,8 @@ impl SystemSim {
             m.reset_stats();
         }
         self.core.mark();
-        self.fault_mark = self.kernel.stats().minor_faults;
+        self.kernel_mark = self.kernel.stats().clone();
+        self.obs = ObsReport::default();
     }
 
     /// Runs `refs` warm-up references (not measured) and then resets
@@ -192,8 +242,10 @@ impl SystemSim {
             // Fetch latency is pipelined ahead of execution; only
             // out-of-code-region stalls would matter and the hot loop
             // stays resident, so charge nothing beyond the structures'
-            // energy/statistics.
-            let _ = flat;
+            // energy/statistics. The fetch still enters the latency
+            // histogram (its attribution was recorded on the way).
+            self.obs.mem_latency.record(flat);
+            self.trace("ifetch", "mem", flat, core);
         }
         let latency = match self.scheme {
             TranslationScheme::Baseline => self.step_baseline(core, item.mref),
@@ -202,6 +254,8 @@ impl SystemSim {
             | TranslationScheme::HybridManySegment { .. } => self.step_hybrid(core, item.mref),
             TranslationScheme::EnigmaDelayedTlb(_) => self.step_enigma(core, item.mref),
         };
+        self.obs.mem_latency.record(latency);
+        self.trace("access", "mem", latency, core);
         self.core.memory(latency, mlp);
     }
 
@@ -241,6 +295,11 @@ impl SystemSim {
             translation.index_cache_accesses = m.index_cache_stats().accesses();
             translation.segment_table_accesses = m.stats().tree_walks;
         }
+        let mut obs = self.obs.clone();
+        for w in &self.walker {
+            obs.walk_latency.merge_from(&w.stats().walk_latency);
+        }
+        let os = self.kernel.stats().since(&self.kernel_mark);
         RunReport {
             instructions: self.core.instructions(),
             cycles: self.core.cycles(),
@@ -249,7 +308,9 @@ impl SystemSim {
             baseline_tlb_misses: self.dtlb.iter().map(TwoLevelTlb::full_misses).sum(),
             cache: self.hierarchy.stats(),
             dram: self.dram.stats().clone(),
-            minor_faults: self.kernel.stats().minor_faults - self.fault_mark,
+            minor_faults: os.minor_faults,
+            os,
+            obs,
         }
     }
 
@@ -273,11 +334,14 @@ impl SystemSim {
             TlbHit::L1 => Cycles::ZERO,
             _ => tlat,
         };
+        self.obs.attribution.add(Component::FrontTlb, front);
         let pte = match hit_pte {
             Some(p) => p,
             None => {
                 let pte = self.ensure_pte(asid, vaddr, kind);
-                front += self.charged_walk(core, asid, vaddr);
+                let walk = self.charged_walk(core, asid, vaddr);
+                self.obs.attribution.add(Component::FrontWalk, walk);
+                front += walk;
                 self.dtlb[core].insert(asid, vaddr.page_number(), pte);
                 pte
             }
@@ -317,12 +381,15 @@ impl SystemSim {
         self.counters.filter_candidates += 1;
         self.counters.synonym_tlb_lookups += 1;
         let mut front = self.config.synonym_tlb.latency;
+        self.obs.attribution.add(Component::SynonymTlb, front);
         let pte = match self.syn_tlb[core].lookup(asid, vaddr.page_number()) {
             Some(p) => p,
             None => {
                 self.counters.synonym_tlb_misses += 1;
                 let pte = self.ensure_pte(asid, vaddr, kind);
-                front += self.charged_walk(core, asid, vaddr);
+                let walk = self.charged_walk(core, asid, vaddr);
+                self.obs.attribution.add(Component::FrontWalk, walk);
+                front += walk;
                 // Non-synonym entries are inserted too, so future false
                 // positives are corrected quickly (Section III-A).
                 self.syn_tlb[core].insert(asid, vaddr.page_number(), pte);
@@ -379,10 +446,14 @@ impl SystemSim {
     fn phys_access(&mut self, core: usize, pa: PhysAddr, kind: AccessKind) -> Cycles {
         let name = BlockName::Phys(pa.line());
         let r = self.hierarchy.lookup(core, name, kind);
+        self.attribute_probe(r.hit_level, r.latency);
         let mut lat = r.latency;
         if r.llc_miss() {
             let now = self.core.now() + lat;
-            lat += self.dram.access_latency(now, pa, kind.is_write());
+            let dram_lat = self.dram.access_latency(now, pa, kind.is_write());
+            self.obs.attribution.add(Component::Dram, dram_lat);
+            self.trace("dram", "mem", dram_lat, core);
+            lat += dram_lat;
             let victim = self.hierarchy.fill_miss(
                 core,
                 kind,
@@ -455,7 +526,7 @@ impl SystemSim {
             return;
         }
         self.counters.prefetches += 1;
-        let (pa, _, perm) =
+        let (pa, _, perm, _) =
             self.delayed_translate_inner(core, asid, next_va, AccessKind::Read, None, false);
         let now = self.core.now();
         self.dram.access(now, pa, false); // background fetch
@@ -504,6 +575,7 @@ impl SystemSim {
             }
         }
         let r = self.hierarchy.lookup(core, name, kind);
+        self.attribute_probe(r.hit_level, r.latency);
         let mut lat = r.latency;
         if self.config.parallel_delayed && !r.llc_miss() && r.hit_level == Some(2) {
             // Parallel mode: an LLC access that *hits* still consulted
@@ -513,17 +585,28 @@ impl SystemSim {
             let _ = self.delayed_translate_inner(core, asid, vaddr, kind, known_pte, false);
         }
         if r.llc_miss() {
-            let (pa, tlat, perm) = self.delayed_translate(core, asid, vaddr, kind, known_pte);
+            let (pa, tlat, perm, mut parts) =
+                self.delayed_translate(core, asid, vaddr, kind, known_pte);
             // Serial: translation starts after the miss is known.
             // Parallel: it overlapped the LLC lookup, so only the part
             // exceeding the LLC latency is exposed.
-            lat += if self.config.parallel_delayed {
+            let exposed = if self.config.parallel_delayed {
                 tlat.saturating_sub(self.config.hierarchy.llc.latency)
             } else {
                 tlat
             };
+            // Cycles hidden by the overlap were spent but never charged
+            // to the core; drop them from the attribution so components
+            // keep summing to the recorded memory cycles.
+            parts.clip(tlat - exposed);
+            self.obs.attribution.merge_from(&parts);
+            self.trace("delayed_translation", "translation", exposed, core);
+            lat += exposed;
             let now = self.core.now() + lat;
-            lat += self.dram.access_latency(now, pa, kind.is_write());
+            let dram_lat = self.dram.access_latency(now, pa, kind.is_write());
+            self.obs.attribution.add(Component::Dram, dram_lat);
+            self.trace("dram", "mem", dram_lat, core);
+            lat += dram_lat;
             let victim = self
                 .hierarchy
                 .fill_miss(core, kind, name, kind.is_write(), perm);
@@ -538,6 +621,9 @@ impl SystemSim {
     }
 
     /// Delayed translation of a non-synonym address after an LLC miss.
+    ///
+    /// The returned [`CycleAttribution`] itemizes the returned latency
+    /// per structure (its components sum to the latency exactly).
     fn delayed_translate(
         &mut self,
         core: usize,
@@ -545,7 +631,7 @@ impl SystemSim {
         vaddr: VirtAddr,
         kind: AccessKind,
         known_pte: Option<Pte>,
-    ) -> (PhysAddr, Cycles, hvc_types::Permissions) {
+    ) -> (PhysAddr, Cycles, hvc_types::Permissions, CycleAttribution) {
         self.delayed_translate_inner(core, asid, vaddr, kind, known_pte, true)
     }
 
@@ -560,7 +646,8 @@ impl SystemSim {
         kind: AccessKind,
         known_pte: Option<Pte>,
         demand: bool,
-    ) -> (PhysAddr, Cycles, hvc_types::Permissions) {
+    ) -> (PhysAddr, Cycles, hvc_types::Permissions, CycleAttribution) {
+        let mut parts = CycleAttribution::default();
         if let TranslationScheme::HybridManySegment { .. } = self.scheme {
             let Self {
                 many,
@@ -572,17 +659,20 @@ impl SystemSim {
             } = self;
             let m = many.as_mut().expect("many-segment scheme");
             let now = core_model.now();
-            if let Some((pa, lat)) = m.translate(asid, vaddr, |addr| {
+            if let Some((pa, cost)) = m.translate_detailed(asid, vaddr, |addr| {
                 counters.pte_reads += 1; // index-tree node fetch from memory
                 dram.access_latency(now, addr, false)
             }) {
+                parts.add(Component::SegmentCache, cost.segment_cache);
+                parts.add(Component::IndexCache, cost.index_cache);
+                parts.add(Component::SegmentTable, cost.segment_table);
                 // Permissions ride the segment (whole-VMA granularity).
                 let perm = kernel
                     .space(asid)
                     .and_then(|s| s.vma(vaddr))
                     .map(|v| v.perm)
                     .unwrap_or(hvc_types::Permissions::RW);
-                return (pa, lat, perm);
+                return (pa, cost.total(), perm, parts);
             }
             // Not covered by any segment: fault to the OS. Under the
             // reservation policy this commits a sub-segment (changing the
@@ -596,17 +686,19 @@ impl SystemSim {
                 self.counters.segment_table_rebuilds += 1;
             }
             let lat = self.charged_walk(core, asid, vaddr);
+            parts.add(Component::DelayedWalk, lat);
             let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
-            return (pa, lat, pte.perm);
+            return (pa, lat, pte.perm, parts);
         }
 
         // Page-granularity delayed TLB.
         self.counters.delayed_tlb_lookups += 1;
         let tlb_lat = self.delayed_tlb.config().latency;
+        parts.add(Component::DelayedTlb, tlb_lat);
         match self.delayed_tlb.lookup(asid, vaddr.page_number()) {
             Some(pte) => {
                 let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
-                (pa, tlb_lat, pte.perm)
+                (pa, tlb_lat, pte.perm, parts)
             }
             None => {
                 if demand {
@@ -614,9 +706,10 @@ impl SystemSim {
                 }
                 let pte = known_pte.unwrap_or_else(|| self.ensure_pte(asid, vaddr, kind));
                 let walk = self.charged_walk(core, asid, vaddr);
+                parts.add(Component::DelayedWalk, walk);
                 self.delayed_tlb.insert(asid, vaddr.page_number(), pte);
                 let pa = PhysAddr::new(pte.frame.base().as_u64() + vaddr.page_offset());
-                (pa, tlb_lat + walk, pte.perm)
+                (pa, tlb_lat + walk, pte.perm, parts)
             }
         }
     }
@@ -634,7 +727,7 @@ impl SystemSim {
             ..
         } = self;
         let now = core.now();
-        walker[core_idx]
+        let lat = walker[core_idx]
             .walk(kernel, asid, vaddr.page_number(), |addr| {
                 counters.pte_reads += 1;
                 let name = BlockName::Phys(addr.line());
@@ -653,7 +746,9 @@ impl SystemSim {
                 lat
             })
             .map(|(_, lat)| lat)
-            .expect("page mapped by ensure_pte before walking")
+            .expect("page mapped by ensure_pte before walking");
+        self.trace("page_walk", "translation", lat, core_idx);
+        lat
     }
 
     /// Guarantees `(asid, vaddr)` is mapped with permissions allowing
@@ -744,7 +839,7 @@ impl SystemSim {
             BlockName::Virt(asid, line) => {
                 self.counters.writeback_translations += 1;
                 let vaddr = VirtAddr::new(line.base_raw());
-                let (pa, _, _) =
+                let (pa, _, _, _) =
                     self.delayed_translate_inner(core, asid, vaddr, AccessKind::Read, None, false);
                 pa
             }

@@ -157,6 +157,12 @@ impl VirtSystemSim {
                 .guest_kernel(self.vmid)
                 .map(|k| k.stats().minor_faults)
                 .unwrap_or(0),
+            os: self
+                .hv
+                .guest_kernel(self.vmid)
+                .map(|k| k.stats().clone())
+                .unwrap_or_default(),
+            ..Default::default()
         }
     }
 

@@ -1,6 +1,7 @@
 //! DRAM access statistics.
 
 use crate::bank::RowOutcome;
+use hvc_obs::LatencyHistogram;
 use hvc_types::{Cycles, MergeStats};
 
 /// Counters accumulated by [`crate::Dram`].
@@ -18,6 +19,8 @@ pub struct DramStats {
     pub row_conflicts: u64,
     /// Sum of access latencies (queueing included).
     pub total_latency: Cycles,
+    /// Distribution of per-access latencies (queueing included).
+    pub access_latency: LatencyHistogram,
 }
 
 impl DramStats {
@@ -33,6 +36,7 @@ impl DramStats {
             RowOutcome::Conflict => self.row_conflicts += 1,
         }
         self.total_latency += Cycles::new(latency);
+        self.access_latency.record(Cycles::new(latency));
     }
 
     /// Total accesses (reads + writes).
@@ -62,6 +66,7 @@ impl MergeStats for DramStats {
         self.row_misses += other.row_misses;
         self.row_conflicts += other.row_conflicts;
         self.total_latency += other.total_latency;
+        self.access_latency.merge_from(&other.access_latency);
     }
 }
 

@@ -1,0 +1,46 @@
+//! Observability primitives for the HVC simulator.
+//!
+//! The paper's delayed-translation argument is a *tail-latency* story:
+//! translation work moves off the critical path, which averages alone
+//! cannot show. This crate provides the three measurement tools the
+//! rest of the workspace wires through its models:
+//!
+//! * [`LatencyHistogram`] — a log₂-bucketed, allocation-free histogram
+//!   with p50/p95/p99/max readout. It implements
+//!   [`hvc_types::MergeStats`], so per-window and per-shard histograms
+//!   merge exactly and sweep results stay independent of `--jobs`.
+//! * [`CycleAttribution`] — a ledger splitting every demand memory
+//!   access's cycles into named [`Component`]s (L1/L2/LLC hit,
+//!   synonym TLB, delayed walk, index cache, segment cache, DRAM, …),
+//!   with the invariant that the components sum to the total memory
+//!   cycles recorded in the latency histogram.
+//! * [`EventTracer`] — a bounded ring buffer of [`TraceEvent`] spans
+//!   that `hvc-runner` serializes into Chrome `trace_event` JSON for
+//!   `about:tracing`; costs nothing when disabled.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvc_obs::LatencyHistogram;
+//! use hvc_types::{Cycles, MergeStats};
+//!
+//! // Two shards of the same run merge into the whole-run histogram.
+//! let mut shard_a = LatencyHistogram::default();
+//! let mut shard_b = LatencyHistogram::default();
+//! shard_a.record(Cycles::new(4));
+//! shard_b.record(Cycles::new(900));
+//! let whole = shard_a.merged(&shard_b);
+//! assert_eq!(whole.count(), 2);
+//! assert_eq!(whole.max(), 900);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attr;
+mod hist;
+mod tracer;
+
+pub use attr::{Component, CycleAttribution, ObsReport};
+pub use hist::{LatencyHistogram, BUCKETS};
+pub use tracer::{EventTracer, TraceEvent};

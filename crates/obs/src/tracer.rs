@@ -1,0 +1,154 @@
+//! Bounded ring-buffer event tracing.
+
+/// One completed span, in the vocabulary of Chrome's `trace_event`
+/// format (a "complete" event, `"ph": "X"`): a name, a category, a
+/// start timestamp, and a duration, all in simulated cycles.
+///
+/// The struct is plain data on purpose — the JSON encoding lives in
+/// `hvc-runner`, which owns the workspace's dependency-free JSON
+/// writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (e.g. `"access"`, `"page_walk"`).
+    pub name: &'static str,
+    /// Event category (e.g. `"mem"`, `"translation"`).
+    pub cat: &'static str,
+    /// Start time in simulated cycles.
+    pub ts: u64,
+    /// Duration in simulated cycles.
+    pub dur: u64,
+    /// Track id; the simulator uses the core index.
+    pub tid: u32,
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s.
+///
+/// Recording never allocates after construction and never grows: once
+/// the buffer is full, the oldest event is overwritten and a drop
+/// counter advances, so a multi-billion-cycle run keeps the *most
+/// recent* window of activity at a bounded memory cost.
+///
+/// # Examples
+///
+/// ```
+/// use hvc_obs::{EventTracer, TraceEvent};
+///
+/// let mut t = EventTracer::new(2);
+/// for i in 0..3 {
+///     t.record(TraceEvent { name: "access", cat: "mem", ts: i, dur: 1, tid: 0 });
+/// }
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// let ts: Vec<u64> = t.events().map(|e| e.ts).collect();
+/// assert_eq!(ts, vec![1, 2]); // oldest event evicted first
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventTracer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventTracer {
+    /// Creates a tracer holding at most `capacity` events. A zero
+    /// capacity is allowed and drops everything.
+    pub fn new(capacity: usize) -> Self {
+        EventTracer {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, start) = self.events.split_at(self.head);
+        start.iter().chain(wrapped.iter())
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted (or refused, for a zero-capacity tracer) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            name: "access",
+            cat: "mem",
+            ts,
+            dur: 4,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_preserving_order() {
+        let mut t = EventTracer::new(3);
+        assert!(t.is_empty());
+        for i in 0..5 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.capacity(), 3);
+        assert_eq!(t.dropped(), 2);
+        let ts: Vec<u64> = t.events().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut t = EventTracer::new(0);
+        t.record(ev(1));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn under_capacity_keeps_insertion_order() {
+        let mut t = EventTracer::new(10);
+        t.record(ev(7));
+        t.record(ev(9));
+        let ts: Vec<u64> = t.events().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![7, 9]);
+        assert_eq!(t.dropped(), 0);
+    }
+}

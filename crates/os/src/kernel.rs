@@ -6,7 +6,8 @@ use crate::pagetable::{PageTable, Pte, WalkPath};
 use crate::segment::{SegmentId, SegmentTable, DEFAULT_SEGMENT_CAPACITY};
 use crate::shm::{ShmId, ShmObject};
 use hvc_types::{
-    AccessKind, Asid, HvcError, Permissions, Result, VirtAddr, VirtPage, PAGE_SHIFT, PAGE_SIZE,
+    AccessKind, Asid, HvcError, MergeStats, Permissions, Result, VirtAddr, VirtPage, PAGE_SHIFT,
+    PAGE_SIZE,
 };
 use std::collections::HashMap;
 
@@ -78,6 +79,34 @@ pub struct KernelStats {
     pub filter_insertions: u64,
     /// Synonym-filter rebuilds (clear + re-insert).
     pub filter_rebuilds: u64,
+}
+
+impl KernelStats {
+    /// Counter deltas accumulated since `mark` was captured — the
+    /// windowing primitive the system simulator uses so per-window OS
+    /// stats merge back to the whole-run totals.
+    #[must_use]
+    pub fn since(&self, mark: &KernelStats) -> KernelStats {
+        KernelStats {
+            minor_faults: self.minor_faults - mark.minor_faults,
+            shootdowns: self.shootdowns - mark.shootdowns,
+            cow_breaks: self.cow_breaks - mark.cow_breaks,
+            flushed_pages: self.flushed_pages - mark.flushed_pages,
+            filter_insertions: self.filter_insertions - mark.filter_insertions,
+            filter_rebuilds: self.filter_rebuilds - mark.filter_rebuilds,
+        }
+    }
+}
+
+impl MergeStats for KernelStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.minor_faults += other.minor_faults;
+        self.shootdowns += other.shootdowns;
+        self.cow_breaks += other.cow_breaks;
+        self.flushed_pages += other.flushed_pages;
+        self.filter_insertions += other.filter_insertions;
+        self.filter_rebuilds += other.filter_rebuilds;
+    }
 }
 
 /// The simulated operating system.
@@ -734,6 +763,21 @@ impl Kernel {
     /// The address space of `asid`.
     pub fn space(&self, asid: Asid) -> Option<&AddressSpace> {
         self.spaces.get(&asid.as_u16())
+    }
+
+    /// All live address spaces, in unspecified order (callers that need
+    /// determinism sort by ASID).
+    pub fn spaces(&self) -> impl Iterator<Item = (Asid, &AddressSpace)> {
+        self.spaces.iter().map(|(&a, s)| (Asid::new(a), s))
+    }
+
+    /// Synonym-filter staleness of `asid`: shared pages unmapped since
+    /// the filter was last rebuilt.
+    pub fn stale_filter_pages(&self, asid: Asid) -> u64 {
+        self.stale_filter_pages
+            .get(&asid.as_u16())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Page-table walk for the hardware walker: leaf PTE plus the four

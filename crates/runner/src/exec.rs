@@ -42,6 +42,27 @@ pub struct CellResult {
     pub cell: Cell,
     /// Merged statistics over all shards of the cell.
     pub report: RunReport,
+    /// End-of-run synonym-filter occupancy per address space, sorted by
+    /// ASID. A gauge, not a counter: it is sampled from the final kernel
+    /// state rather than merged across shards (merging saturations is
+    /// meaningless), so it lives outside the [`RunReport`].
+    pub filters: Vec<FilterOccupancy>,
+}
+
+/// End-of-run occupancy of one address space's synonym filter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FilterOccupancy {
+    /// Address-space identifier.
+    pub asid: u16,
+    /// Lifetime insertions into this space's filter.
+    pub insertions: u64,
+    /// Fraction of coarse (16 MB-granularity) filter bits set.
+    pub coarse_saturation: f64,
+    /// Fraction of fine (32 KB-granularity) filter bits set.
+    pub fine_saturation: f64,
+    /// Pages unmapped since the last filter rebuild (stale filter
+    /// contributions awaiting a lazy rebuild).
+    pub stale_pages: u64,
 }
 
 /// The outcome of a whole sweep.
@@ -81,8 +102,13 @@ pub fn run_sweep(exp: &Experiment, opts: &RunOptions) -> Result<SweepOutcome, St
                     return;
                 };
                 let index = cell.index;
-                let outcome = run_cell(exp, &cell, opts.shards, replay_items.as_deref())
-                    .map(|report| CellResult { cell, report });
+                let outcome = run_cell(exp, &cell, opts.shards, replay_items.as_deref()).map(
+                    |(report, filters)| CellResult {
+                        cell,
+                        report,
+                        filters,
+                    },
+                );
                 *slots[index].lock().unwrap() = Some(outcome);
             });
         }
@@ -102,12 +128,14 @@ pub fn run_sweep(exp: &Experiment, opts: &RunOptions) -> Result<SweepOutcome, St
 
 /// Runs one cell: build the system, warm it up, then measure `refs`
 /// references split over `shards` windows whose reports are merged.
+/// Alongside the merged report, returns the end-of-run filter-occupancy
+/// gauges (sorted by ASID for deterministic serialization).
 pub fn run_cell(
     exp: &Experiment,
     cell: &Cell,
     shards: usize,
     replay: Option<&[TraceItem]>,
-) -> Result<RunReport, String> {
+) -> Result<(RunReport, Vec<FilterOccupancy>), String> {
     let spec = params::workload_by_name(&cell.workload, exp.mem)
         .ok_or_else(|| format!("unknown workload '{}'", cell.workload))?;
     let (scheme, policy) = params::parse_scheme(&cell.scheme)
@@ -164,7 +192,29 @@ pub fn run_cell(
             None => merged = Some(report),
         }
     }
-    merged.ok_or_else(|| "no measurement windows".into())
+    let report = merged.ok_or_else(|| String::from("no measurement windows"))?;
+    Ok((report, filter_occupancy(&sim)))
+}
+
+/// Samples the end-of-run synonym-filter occupancy of every address
+/// space, sorted by ASID (the kernel iterates spaces in hash order).
+fn filter_occupancy(sim: &SystemSim) -> Vec<FilterOccupancy> {
+    let kernel = sim.kernel();
+    let mut out: Vec<FilterOccupancy> = kernel
+        .spaces()
+        .map(|(asid, space)| {
+            let (coarse, fine) = space.filter.saturation();
+            FilterOccupancy {
+                asid: asid.as_u16(),
+                insertions: space.filter.insertions(),
+                coarse_saturation: coarse,
+                fine_saturation: fine,
+                stale_pages: kernel.stale_filter_pages(asid),
+            }
+        })
+        .collect();
+    out.sort_by_key(|f| f.asid);
+    out
 }
 
 /// Splits `refs` into `shards` near-equal window sizes (the first

@@ -35,6 +35,10 @@ pub struct Experiment {
     /// Replay this HVCT trace instead of generating references (the
     /// workload still provides the memory layout and MLP hint).
     pub replay: Option<String>,
+    /// Include the observability sections (latency percentiles, cycle
+    /// attribution) in the report. Collection is always on — this only
+    /// widens the JSON, so turning it off reproduces the lean reports.
+    pub obs: bool,
 }
 
 impl Default for Experiment {
@@ -51,6 +55,7 @@ impl Default for Experiment {
             cores: 1,
             ifetch: false,
             replay: None,
+            obs: false,
         }
     }
 }

@@ -41,6 +41,6 @@ pub mod params;
 pub mod presets;
 pub mod report;
 
-pub use exec::{run_cell, run_sweep, CellResult, RunOptions, SweepOutcome};
+pub use exec::{run_cell, run_sweep, CellResult, FilterOccupancy, RunOptions, SweepOutcome};
 pub use grid::{Cell, Experiment};
-pub use report::sweep_report;
+pub use report::{sweep_report, trace_events_json};

@@ -1,14 +1,15 @@
 //! JSON sweep reports.
 //!
-//! # Schema `hvc-sweep-report/1`
+//! # Schema `hvc-sweep-report/2`
 //!
 //! ```text
 //! {
-//!   "schema": "hvc-sweep-report/1",
+//!   "schema": "hvc-sweep-report/2",
 //!   "simulator": { "name": "hvc", "version": "<crate version>" },
 //!   "experiment": {
 //!     "name", "workloads" [], "schemes" [], "seeds" [], "llc_bytes" [],
-//!     "refs", "warm", "mem", "cores", "ifetch", "replay" (string|null)
+//!     "refs", "warm", "mem", "cores", "ifetch", "replay" (string|null),
+//!     "obs"
 //!   },
 //!   "jobs": <worker threads>,
 //!   "shards": <windows merged per cell>,
@@ -27,29 +28,45 @@
 //!                    "coherence_invalidations", "memory_writebacks" },
 //!         "dram": { "reads", "writes", "row_hits", "row_misses",
 //!                   "row_conflicts", "total_latency_cycles" },
-//!         "energy_uj": <translation energy, µJ>
+//!         "energy_uj": <translation energy, µJ>,
+//!         "os": { "minor_faults", "shootdowns", "cow_breaks",
+//!                 "flushed_pages", "filter_insertions",
+//!                 "filter_rebuilds" },
+//!         "filter_occupancy": [
+//!           { "asid", "insertions", "coarse_saturation",
+//!             "fine_saturation", "stale_pages" }, ...
+//!         ],
+//!         // with "obs": true on the experiment:
+//!         "latency": { "memory" {...}, "walk" {...} },  // histograms:
+//!                    // count, total_cycles, max, mean, p50, p95, p99,
+//!                    // buckets [[upper_bound, count], ...]
+//!         "attribution": { "l1_hit", ..., "dram", "total" }
 //!       }
 //!     }, ...
 //!   ]
 //! }
 //! ```
 //!
-//! All counters are exact `u64`; derived floats (`ipc`, `energy_uj`)
-//! are pure functions of the counters, so the whole `cells` array is
-//! byte-identical for identical statistics. `wall_ms` is the only
-//! field that varies between invocations, and it lives outside the
-//! per-cell objects on purpose.
+//! All counters are exact `u64`; derived floats (`ipc`, `energy_uj`,
+//! saturations, `mean`) are pure functions of the counters, so the
+//! whole `cells` array is byte-identical for identical statistics.
+//! `wall_ms` is the only field that varies between invocations, and it
+//! lives outside the per-cell objects on purpose. Percentiles are
+//! computed from the merged log₂ histogram buckets with integer rank
+//! arithmetic, which keeps them `--jobs`- and shard-invariant too.
 
-use crate::exec::{CellResult, RunOptions, SweepOutcome};
+use crate::exec::{CellResult, FilterOccupancy, RunOptions, SweepOutcome};
 use crate::grid::Experiment;
 use crate::json::Value;
 use crate::params;
 use hvc_cache::{CacheStats, LevelStats};
 use hvc_core::{EnergyModel, RunReport, TranslationCounters};
 use hvc_mem::DramStats;
+use hvc_obs::{Component, CycleAttribution, LatencyHistogram, TraceEvent};
+use hvc_os::KernelStats;
 
 /// The schema identifier written into every report.
-pub const SCHEMA: &str = "hvc-sweep-report/1";
+pub const SCHEMA: &str = "hvc-sweep-report/2";
 
 fn object(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
@@ -77,7 +94,13 @@ pub fn sweep_report(exp: &Experiment, opts: &RunOptions, outcome: &SweepOutcome)
         ("wall_ms", Value::UInt(outcome.wall.as_millis() as u64)),
         (
             "cells",
-            Value::Array(outcome.results.iter().map(cell_value).collect()),
+            Value::Array(
+                outcome
+                    .results
+                    .iter()
+                    .map(|r| cell_value(r, exp.obs))
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -107,10 +130,11 @@ fn experiment_value(exp: &Experiment) -> Value {
                 .as_ref()
                 .map_or(Value::Null, |p| Value::Str(p.clone())),
         ),
+        ("obs", Value::Bool(exp.obs)),
     ])
 }
 
-fn cell_value(result: &CellResult) -> Value {
+fn cell_value(result: &CellResult, obs: bool) -> Value {
     let c = &result.cell;
     object(vec![
         ("index", Value::UInt(c.index as u64)),
@@ -119,11 +143,14 @@ fn cell_value(result: &CellResult) -> Value {
         ("base_seed", Value::UInt(c.base_seed)),
         ("seed", Value::UInt(c.seed)),
         ("llc_bytes", Value::UInt(c.llc_bytes)),
-        ("stats", stats_value(&result.report, &c.scheme)),
+        (
+            "stats",
+            stats_value(&result.report, &result.filters, &c.scheme, obs),
+        ),
     ])
 }
 
-fn stats_value(r: &RunReport, scheme: &str) -> Value {
+fn stats_value(r: &RunReport, filters: &[FilterOccupancy], scheme: &str, obs: bool) -> Value {
     let entries = params::parse_scheme(scheme)
         .map(|(s, _)| params::delayed_entries(s))
         .unwrap_or(4096);
@@ -131,7 +158,7 @@ fn stats_value(r: &RunReport, scheme: &str) -> Value {
         .breakdown(&r.translation, entries)
         .total()
         / 1e6;
-    object(vec![
+    let mut fields = vec![
         ("instructions", Value::UInt(r.instructions)),
         ("cycles", Value::UInt(r.cycles)),
         ("ipc", Value::Float(r.ipc())),
@@ -142,6 +169,100 @@ fn stats_value(r: &RunReport, scheme: &str) -> Value {
         ("cache", cache_value(&r.cache)),
         ("dram", dram_value(&r.dram)),
         ("energy_uj", Value::Float(energy)),
+        ("os", os_value(&r.os)),
+        (
+            "filter_occupancy",
+            Value::Array(filters.iter().map(occupancy_value).collect()),
+        ),
+    ];
+    if obs {
+        fields.push((
+            "latency",
+            object(vec![
+                ("memory", histogram_value(&r.obs.mem_latency)),
+                ("walk", histogram_value(&r.obs.walk_latency)),
+            ]),
+        ));
+        fields.push(("attribution", attribution_value(&r.obs.attribution)));
+    }
+    object(fields)
+}
+
+fn os_value(k: &KernelStats) -> Value {
+    object(vec![
+        ("minor_faults", Value::UInt(k.minor_faults)),
+        ("shootdowns", Value::UInt(k.shootdowns)),
+        ("cow_breaks", Value::UInt(k.cow_breaks)),
+        ("flushed_pages", Value::UInt(k.flushed_pages)),
+        ("filter_insertions", Value::UInt(k.filter_insertions)),
+        ("filter_rebuilds", Value::UInt(k.filter_rebuilds)),
+    ])
+}
+
+fn occupancy_value(f: &FilterOccupancy) -> Value {
+    object(vec![
+        ("asid", Value::UInt(f.asid as u64)),
+        ("insertions", Value::UInt(f.insertions)),
+        ("coarse_saturation", Value::Float(f.coarse_saturation)),
+        ("fine_saturation", Value::Float(f.fine_saturation)),
+        ("stale_pages", Value::UInt(f.stale_pages)),
+    ])
+}
+
+/// Serializes a log₂ latency histogram: exact counters plus the derived
+/// percentiles (pure functions of the buckets, hence merge-invariant).
+fn histogram_value(h: &LatencyHistogram) -> Value {
+    object(vec![
+        ("count", Value::UInt(h.count())),
+        ("total_cycles", Value::UInt(h.total().get())),
+        ("max", Value::UInt(h.max())),
+        ("mean", h.mean().map_or(Value::Null, Value::Float)),
+        ("p50", Value::UInt(h.p50())),
+        ("p95", Value::UInt(h.p95())),
+        ("p99", Value::UInt(h.p99())),
+        (
+            "buckets",
+            Value::Array(
+                h.nonzero_buckets()
+                    .map(|(ub, n)| Value::Array(vec![Value::UInt(ub), Value::UInt(n)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes the cycle-attribution ledger; `total` equals the memory
+/// latency histogram's `total_cycles` by construction.
+fn attribution_value(a: &CycleAttribution) -> Value {
+    let mut fields: Vec<(&str, Value)> = Component::ALL
+        .iter()
+        .map(|&c| (c.name(), Value::UInt(a.get(c).get())))
+        .collect();
+    fields.push(("total", Value::UInt(a.total().get())));
+    object(fields)
+}
+
+/// Builds a Chrome `trace_event`-format document (the "JSON Array
+/// Format" with an explicit object wrapper) from captured events.
+/// Load the output in `chrome://tracing` or Perfetto.
+pub fn trace_events_json(events: impl IntoIterator<Item = TraceEvent>) -> Value {
+    let events = events
+        .into_iter()
+        .map(|e| {
+            object(vec![
+                ("name", Value::Str(e.name.into())),
+                ("cat", Value::Str(e.cat.into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::UInt(e.ts)),
+                ("dur", Value::UInt(e.dur)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(e.tid as u64)),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ns".into())),
     ])
 }
 
@@ -236,7 +357,17 @@ mod tests {
             ..Default::default()
         };
         let outcome = SweepOutcome {
-            results: vec![CellResult { cell, report }],
+            results: vec![CellResult {
+                cell,
+                report,
+                filters: vec![FilterOccupancy {
+                    asid: 1,
+                    insertions: 3,
+                    coarse_saturation: 0.25,
+                    fine_saturation: 0.125,
+                    stale_pages: 0,
+                }],
+            }],
             wall: Duration::from_millis(12),
         };
         (exp, RunOptions { jobs: 2, shards: 1 }, outcome)

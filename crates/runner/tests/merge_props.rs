@@ -9,6 +9,8 @@
 use hvc_cache::{CacheStats, LevelStats};
 use hvc_core::{RunReport, TranslationCounters};
 use hvc_mem::DramStats;
+use hvc_obs::{Component, CycleAttribution, LatencyHistogram, ObsReport};
+use hvc_os::KernelStats;
 use hvc_tlb::{TlbStats, WalkerStats};
 use hvc_types::{Cycles, MergeStats};
 use proptest::prelude::*;
@@ -43,6 +45,7 @@ fn cache_stats() -> impl Strategy<Value = CacheStats> {
             llc,
             coherence_invalidations: ci,
             memory_writebacks: mw,
+            ..Default::default()
         })
 }
 
@@ -54,6 +57,7 @@ fn dram_stats() -> impl Strategy<Value = DramStats> {
         row_misses: v[3],
         row_conflicts: v[4],
         total_latency: Cycles::new(v[5]),
+        ..Default::default()
     })
 }
 
@@ -82,23 +86,73 @@ fn translation_counters() -> impl Strategy<Value = TranslationCounters> {
     })
 }
 
+fn latency_histogram() -> impl Strategy<Value = LatencyHistogram> {
+    prop::collection::vec(0u64..MAX, 0..40).prop_map(|samples| {
+        let mut h = LatencyHistogram::default();
+        for s in samples {
+            h.record(Cycles::new(s));
+        }
+        h
+    })
+}
+
+fn cycle_attribution() -> impl Strategy<Value = CycleAttribution> {
+    prop::collection::vec(0u64..MAX, Component::ALL.len()..Component::ALL.len() + 1).prop_map(|v| {
+        let mut a = CycleAttribution::default();
+        for (&c, &cycles) in Component::ALL.iter().zip(v.iter()) {
+            a.add(c, Cycles::new(cycles));
+        }
+        a
+    })
+}
+
+fn obs_report() -> impl Strategy<Value = ObsReport> {
+    (
+        latency_histogram(),
+        latency_histogram(),
+        cycle_attribution(),
+    )
+        .prop_map(|(mem_latency, walk_latency, attribution)| ObsReport {
+            mem_latency,
+            walk_latency,
+            attribution,
+        })
+}
+
+fn kernel_stats() -> impl Strategy<Value = KernelStats> {
+    prop::collection::vec(0u64..MAX, 6..7).prop_map(|v| KernelStats {
+        minor_faults: v[0],
+        shootdowns: v[1],
+        cow_breaks: v[2],
+        flushed_pages: v[3],
+        filter_insertions: v[4],
+        filter_rebuilds: v[5],
+    })
+}
+
 fn run_report() -> impl Strategy<Value = RunReport> {
     (
         (0u64..MAX, 0u64..MAX, 0u64..MAX, 0u64..MAX, 0u64..MAX),
         translation_counters(),
         cache_stats(),
         dram_stats(),
+        kernel_stats(),
+        obs_report(),
     )
         .prop_map(
-            |((instructions, cycles, refs, btm, faults), translation, cache, dram)| RunReport {
-                instructions,
-                cycles,
-                refs,
-                translation,
-                baseline_tlb_misses: btm,
-                cache,
-                dram,
-                minor_faults: faults,
+            |((instructions, cycles, refs, btm, faults), translation, cache, dram, os, obs)| {
+                RunReport {
+                    instructions,
+                    cycles,
+                    refs,
+                    translation,
+                    baseline_tlb_misses: btm,
+                    cache,
+                    dram,
+                    minor_faults: faults,
+                    os,
+                    obs,
+                }
             },
         )
 }
@@ -113,6 +167,8 @@ fn reports_equal(a: &RunReport, b: &RunReport) -> bool {
         && a.cache == b.cache
         && a.dram == b.dram
         && a.minor_faults == b.minor_faults
+        && a.os == b.os
+        && a.obs == b.obs
 }
 
 macro_rules! merge_laws {
@@ -164,6 +220,69 @@ merge_laws!(
     translation_counters(),
     TranslationCounters
 );
+merge_laws!(
+    histogram_commutative,
+    histogram_associative,
+    histogram_identity,
+    latency_histogram(),
+    LatencyHistogram
+);
+merge_laws!(
+    attribution_commutative,
+    attribution_associative,
+    attribution_identity,
+    cycle_attribution(),
+    CycleAttribution
+);
+merge_laws!(
+    obs_commutative,
+    obs_associative,
+    obs_identity,
+    obs_report(),
+    ObsReport
+);
+merge_laws!(
+    kernel_commutative,
+    kernel_associative,
+    kernel_identity,
+    kernel_stats(),
+    KernelStats
+);
+
+proptest! {
+    /// Merging two histograms is exactly recording the union of their
+    /// samples — count, totals, max, and every derived percentile agree.
+    #[test]
+    fn histogram_merge_is_union_of_samples(
+        xs in prop::collection::vec(0u64..MAX, 0..40),
+        ys in prop::collection::vec(0u64..MAX, 0..40),
+    ) {
+        let mut a = LatencyHistogram::default();
+        for &x in &xs {
+            a.record(Cycles::new(x));
+        }
+        let mut b = LatencyHistogram::default();
+        for &y in &ys {
+            b.record(Cycles::new(y));
+        }
+        let mut union = LatencyHistogram::default();
+        for &v in xs.iter().chain(ys.iter()) {
+            union.record(Cycles::new(v));
+        }
+        let merged = a.merged(&b);
+        prop_assert_eq!(&merged, &union);
+        prop_assert_eq!(merged.p50(), union.p50());
+        prop_assert_eq!(merged.p95(), union.p95());
+        prop_assert_eq!(merged.p99(), union.p99());
+    }
+
+    /// Attribution totals are preserved by merging.
+    #[test]
+    fn attribution_merge_preserves_total(a in cycle_attribution(), b in cycle_attribution()) {
+        let merged = a.merged(&b);
+        prop_assert_eq!(merged.total(), a.total() + b.total());
+    }
+}
 
 proptest! {
     #[test]
@@ -181,12 +300,14 @@ proptest! {
             pte_reads: v[1],
             skipped_reads: v[2],
             walk_cycles: Cycles::new(v[3]),
+            ..Default::default()
         };
         let b = WalkerStats {
             walks: v[4],
             pte_reads: v[5],
             skipped_reads: v[6],
             walk_cycles: Cycles::new(v[7]),
+            ..Default::default()
         };
         prop_assert_eq!(a.merged(&b), b.merged(&a));
         prop_assert_eq!(a.merged(&WalkerStats::default()), a.clone());

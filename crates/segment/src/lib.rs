@@ -53,6 +53,6 @@ pub use direct::DirectSegment;
 pub use hw_table::HwSegmentTable;
 pub use index_cache::{IndexCache, IndexCacheStats};
 pub use index_tree::IndexTree;
-pub use many::{ManySegmentStats, ManySegmentTranslator};
+pub use many::{ManySegmentStats, ManySegmentTranslator, SegmentCost};
 pub use rmm::{Rmm, RmmStats};
 pub use segment_cache::SegmentCache;

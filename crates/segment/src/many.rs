@@ -1,8 +1,30 @@
 //! The composed many-segment delayed translator (Figure 5).
 
 use crate::{HwSegmentTable, IndexCache, IndexTree, SegmentCache};
+use hvc_obs::LatencyHistogram;
 use hvc_os::SegmentTable;
 use hvc_types::{Asid, Cycles, PhysAddr, VirtAddr};
+
+/// Per-stage cost of one many-segment translation, so callers can
+/// attribute cycles to the structure that spent them. The stages sum to
+/// the latency [`ManySegmentTranslator::translate`] would have
+/// returned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentCost {
+    /// Segment-cache probe (hit or the probe preceding a tree walk).
+    pub segment_cache: Cycles,
+    /// Index-cache probes, including memory fetches of missing nodes.
+    pub index_cache: Cycles,
+    /// Hardware segment-table read.
+    pub segment_table: Cycles,
+}
+
+impl SegmentCost {
+    /// Total translation latency.
+    pub fn total(&self) -> Cycles {
+        self.segment_cache + self.index_cache + self.segment_table
+    }
+}
 
 /// Counters for the many-segment translation path.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -19,6 +41,9 @@ pub struct ManySegmentStats {
     pub uncovered: u64,
     /// Total cycles spent translating.
     pub cycles: Cycles,
+    /// Distribution of per-translation latencies (uncovered probes
+    /// included).
+    pub translate_latency: LatencyHistogram,
 }
 
 /// The full delayed-translation pipeline: SC → index cache walk →
@@ -103,13 +128,29 @@ impl ManySegmentTranslator {
         &mut self,
         asid: Asid,
         va: VirtAddr,
-        mut fetch: impl FnMut(PhysAddr) -> Cycles,
+        fetch: impl FnMut(PhysAddr) -> Cycles,
     ) -> Option<(PhysAddr, Cycles)> {
-        let mut latency = self.sc.latency();
+        self.translate_detailed(asid, va, fetch)
+            .map(|(pa, cost)| (pa, cost.total()))
+    }
+
+    /// Like [`ManySegmentTranslator::translate`], but itemizes the
+    /// latency per structure (segment cache, index cache, hardware
+    /// segment table) so callers can attribute the cycles.
+    pub fn translate_detailed(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        mut fetch: impl FnMut(PhysAddr) -> Cycles,
+    ) -> Option<(PhysAddr, SegmentCost)> {
+        let mut cost = SegmentCost {
+            segment_cache: self.sc.latency(),
+            ..SegmentCost::default()
+        };
         if let Some(pa) = self.sc.translate(asid, va) {
             self.stats.sc_hits += 1;
-            self.stats.cycles += latency;
-            return Some((pa, latency));
+            self.finish(cost);
+            return Some((pa, cost));
         }
 
         // Traverse the index tree through the index cache.
@@ -118,9 +159,9 @@ impl ManySegmentTranslator {
         let mut touched = std::mem::take(&mut self.scratch);
         let found = self.index_tree.lookup(asid, va, &mut touched);
         for &node in &touched {
-            latency += self.index_cache.latency();
+            cost.index_cache += self.index_cache.latency();
             if !self.index_cache.access(node) {
-                latency += fetch(node);
+                cost.index_cache += fetch(node);
                 self.stats.node_fetches += 1;
             }
         }
@@ -128,22 +169,27 @@ impl ManySegmentTranslator {
 
         let Some(id) = found else {
             self.stats.uncovered += 1;
-            self.stats.cycles += latency;
+            self.finish(cost);
             return None;
         };
 
         // Hardware segment table: base/limit check + offset add.
-        latency += self.hw_table.latency();
+        cost.segment_table = self.hw_table.latency();
         let Some(pa) = self.hw_table.translate(id, asid, va) else {
             self.stats.uncovered += 1;
-            self.stats.cycles += latency;
+            self.finish(cost);
             return None;
         };
         if let Some(seg) = self.hw_table.get(id) {
             self.sc.fill(asid, va, seg);
         }
-        self.stats.cycles += latency;
-        Some((pa, latency))
+        self.finish(cost);
+        Some((pa, cost))
+    }
+
+    fn finish(&mut self, cost: SegmentCost) {
+        self.stats.cycles += cost.total();
+        self.stats.translate_latency.record(cost.total());
     }
 
     /// Counters.

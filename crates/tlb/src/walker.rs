@@ -1,6 +1,7 @@
 //! The hardware page walker.
 
 use crate::WalkCache;
+use hvc_obs::LatencyHistogram;
 use hvc_os::{Kernel, Pte, PT_LEVELS};
 use hvc_types::{Asid, Cycles, MergeStats, PhysAddr, VirtPage};
 
@@ -15,6 +16,8 @@ pub struct WalkerStats {
     pub skipped_reads: u64,
     /// Total cycles spent walking.
     pub walk_cycles: Cycles,
+    /// Distribution of per-walk latencies.
+    pub walk_latency: LatencyHistogram,
 }
 
 impl MergeStats for WalkerStats {
@@ -23,6 +26,7 @@ impl MergeStats for WalkerStats {
         self.pte_reads += other.pte_reads;
         self.skipped_reads += other.skipped_reads;
         self.walk_cycles += other.walk_cycles;
+        self.walk_latency.merge_from(&other.walk_latency);
     }
 }
 
@@ -67,6 +71,7 @@ impl PageWalker {
         self.stats.skipped_reads += skip as u64;
         self.stats.walks += 1;
         self.stats.walk_cycles += latency;
+        self.stats.walk_latency.record(latency);
         self.walk_cache.fill(asid, vpage);
         Some((pte, latency))
     }

@@ -4,8 +4,9 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the slice of the proptest API its test suites use: the
 //! [`proptest!`] macro with `#![proptest_config(..)]`, the
-//! `prop_assert*` family, [`Strategy`] with `prop_map`, [`prop_oneof!`],
-//! [`Just`], `any::<T>()`, tuple strategies, integer/float range
+//! `prop_assert*` family, [`Strategy`](strategy::Strategy) with
+//! `prop_map`, [`prop_oneof!`], [`Just`](strategy::Just), `any::<T>()`,
+//! tuple strategies, integer/float range
 //! strategies, and the `prop::{collection, option, sample}` modules.
 //!
 //! Differences from the real crate, by design:

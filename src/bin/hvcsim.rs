@@ -33,6 +33,8 @@ OPTIONS:
     --llc <size>         LLC capacity: 2M or 8M               [default: 2M]
     --cores <n>          number of cores                      [default: 1]
     --ifetch             model the instruction-fetch stream
+    --obs                print latency percentiles and cycle attribution
+    --trace-events <p>   write a Chrome trace_event JSON of the run
     --save-trace <path>  write the measured reference stream to a file
     --replay <path>      replay a saved trace instead of generating one
     --list               list workload profiles and exit
@@ -73,6 +75,7 @@ fn sweep_main(args: &[String]) -> ExitCode {
     let mut mem: Option<u64> = None;
     let mut cores: Option<usize> = None;
     let mut ifetch = false;
+    let mut obs = false;
     let mut replay: Option<String> = None;
     let mut opts = RunOptions::default();
     let mut out: Option<String> = None;
@@ -151,6 +154,7 @@ fn sweep_main(args: &[String]) -> ExitCode {
                 None => return bad(),
             },
             "--ifetch" => ifetch = true,
+            "--obs" => obs = true,
             "--replay" => match next(&mut i) {
                 Some(v) => replay = Some(v),
                 None => return bad(),
@@ -203,6 +207,9 @@ fn sweep_main(args: &[String]) -> ExitCode {
     }
     if ifetch {
         exp.ifetch = true;
+    }
+    if obs {
+        exp.obs = true;
     }
     if replay.is_some() {
         exp.replay = replay;
@@ -259,6 +266,8 @@ fn single_main(args: &[String]) -> ExitCode {
     let mut llc = 2u64 << 20;
     let mut cores = 1usize;
     let mut ifetch = false;
+    let mut obs = false;
+    let mut trace_events: Option<String> = None;
     let mut save_trace: Option<String> = None;
     let mut replay: Option<String> = None;
 
@@ -320,6 +329,11 @@ fn single_main(args: &[String]) -> ExitCode {
                 None => return bad(),
             },
             "--ifetch" => ifetch = true,
+            "--obs" => obs = true,
+            "--trace-events" => match next(&mut i) {
+                Some(v) => trace_events = Some(v),
+                None => return bad(),
+            },
             "--save-trace" => match next(&mut i) {
                 Some(v) => save_trace = Some(v),
                 None => return bad(),
@@ -356,6 +370,10 @@ fn single_main(args: &[String]) -> ExitCode {
         config.hierarchy.llc = hvc::cache::CacheConfig::new(llc, 16, hvc::types::Cycles::new(27));
     }
     config.model_ifetch = ifetch;
+    if trace_events.is_some() {
+        // Bounded ring buffer: a long run keeps the newest window.
+        config.trace_capacity = 1 << 18;
+    }
 
     let mut kernel = Kernel::new(16 << 30, policy);
     let mut wl = match spec.instantiate(&mut kernel, seed) {
@@ -454,6 +472,42 @@ fn single_main(args: &[String]) -> ExitCode {
     let energy = EnergyModel::cacti_32nm().breakdown(t, 4096).total() / 1e6;
     println!("translation energy  {:>10.2} µJ", energy);
     println!("minor faults        {:>12}", report.minor_faults);
+    if obs {
+        let mem = &report.obs.mem_latency;
+        println!("memory latency (cycles over {} accesses)", mem.count());
+        println!("  p50               {:>12}", mem.p50());
+        println!("  p95               {:>12}", mem.p95());
+        println!("  p99               {:>12}", mem.p99());
+        println!("  max               {:>12}", mem.max());
+        println!("cycle attribution");
+        for &c in hvc::obs::Component::ALL.iter() {
+            let cycles = report.obs.attribution.get(c);
+            if cycles.get() > 0 {
+                println!("  {:<17} {:>12}", c.name(), cycles.get());
+            }
+        }
+        println!(
+            "  {:<17} {:>12}",
+            "total",
+            report.obs.attribution.total().get()
+        );
+    }
+    if let Some(path) = &trace_events {
+        let Some(tracer) = sim.tracer() else {
+            eprintln!("tracer was not enabled");
+            return ExitCode::FAILURE;
+        };
+        let doc = hvc::runner::trace_events_json(tracer.events().copied());
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} trace events to {path} ({} dropped by the ring buffer)",
+            tracer.len(),
+            tracer.dropped()
+        );
+    }
     println!(
         "simulated {:.2} M refs/s",
         (warm + refs) as f64 / wall.as_secs_f64() / 1e6

@@ -19,6 +19,7 @@
 //! | [`filter`] | Bloom-filter synonym detection |
 //! | [`tlb`] | TLBs and hardware page walking |
 //! | [`trace`] | binary trace capture / replay |
+//! | [`obs`] | latency histograms, cycle attribution, event tracing |
 //! | [`segment`] | many-segment delayed translation + RMM baseline |
 //! | [`virt`] | hypervisor and nested (2D) translation |
 //! | [`core`] | translation schemes, system simulator, energy model |
@@ -52,6 +53,7 @@ pub use hvc_cache as cache;
 pub use hvc_core as core;
 pub use hvc_filter as filter;
 pub use hvc_mem as mem;
+pub use hvc_obs as obs;
 pub use hvc_os as os;
 pub use hvc_runner as runner;
 pub use hvc_segment as segment;

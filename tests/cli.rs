@@ -60,6 +60,55 @@ fn small_simulation_reports_ipc() {
 }
 
 #[test]
+fn obs_flag_prints_percentiles_and_trace_events_are_valid_json() {
+    let dir = std::env::temp_dir().join(format!("hvcsim-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("events.json");
+    let out = hvcsim()
+        .args([
+            "--workload",
+            "gups",
+            "--scheme",
+            "manyseg",
+            "--refs",
+            "5000",
+            "--warm",
+            "0",
+            "--mem",
+            "16M",
+            "--obs",
+            "--trace-events",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("p50"), "missing percentiles:\n{text}");
+    assert!(text.contains("p99"));
+    assert!(text.contains("cycle attribution"));
+
+    // The trace file is a valid Chrome trace_event document: an object
+    // with a traceEvents array of complete ("ph": "X") events.
+    let doc = hvc::runner::json::parse(&std::fs::read_to_string(&trace).unwrap())
+        .expect("trace events parse as JSON");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(!events.is_empty(), "tracer captured no events");
+    for e in events {
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert!(e.get("name").unwrap().as_str().is_some());
+        assert!(e.get("ts").unwrap().as_u64().is_some());
+        assert!(e.get("dur").unwrap().as_u64().is_some());
+        assert!(e.get("tid").unwrap().as_u64().is_some());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_save_then_replay_is_bit_identical() {
     let dir = std::env::temp_dir().join(format!("hvcsim-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -161,7 +210,7 @@ fn sweep_reports_every_cell_and_is_jobs_invariant() {
         .expect("report parses as JSON");
     assert_eq!(
         doc.get("schema").unwrap().as_str(),
-        Some("hvc-sweep-report/1")
+        Some("hvc-sweep-report/2")
     );
     let cells = doc.get("cells").unwrap().as_array().unwrap();
     assert_eq!(cells.len(), 2, "one cell per scheme");
