@@ -211,6 +211,31 @@ impl Cache {
         victims
     }
 
+    /// Invalidates every physically-named line of the frame whose base
+    /// byte address is `frame_base`, returning dirty victims. The OS
+    /// requests this when a freed synonym frame goes back to the
+    /// allocator — physically-tagged lines survive every per-space flush.
+    pub fn flush_phys_frame(&mut self, frame_base: u64) -> Vec<Victim> {
+        let mut victims = Vec::new();
+        self.retain_update(|l| {
+            let of_frame = matches!(l.name, BlockName::Phys(line)
+                if line.base_raw() >> PAGE_SHIFT == frame_base >> PAGE_SHIFT);
+            if of_frame {
+                if l.dirty {
+                    victims.push(Victim {
+                        name: l.name,
+                        dirty: true,
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.invalidations += victims.len() as u64;
+        victims
+    }
+
     /// Invalidates every line of an address space (process teardown).
     pub fn flush_asid(&mut self, asid: Asid) -> Vec<Victim> {
         let mut victims = Vec::new();
@@ -390,6 +415,23 @@ mod tests {
         let mut c = tiny();
         c.fill(v(1, 0), false, Permissions::RW);
         assert!(!c.access(p(0), false));
+    }
+
+    #[test]
+    fn flush_phys_frame_removes_only_that_frame() {
+        let mut c = Cache::new(CacheConfig::new(64 * 128, 2, Cycles::new(1)));
+        // Lines 0 and 5 live in the frame at byte 0; line 64 is the
+        // first line of the next frame; virtual names never match.
+        c.fill(p(0), false, Permissions::RW);
+        c.fill(p(5), true, Permissions::RW);
+        c.fill(p(64), false, Permissions::RW);
+        c.fill(v(1, 0), false, Permissions::RW);
+        let victims = c.flush_phys_frame(0);
+        assert_eq!(victims.len(), 1, "one dirty line in the frame");
+        assert_eq!(victims[0].name, p(5));
+        assert!(!c.contains(p(0)) && !c.contains(p(5)));
+        assert!(c.contains(p(64)), "next frame untouched");
+        assert!(c.contains(v(1, 0)), "virtual names untouched");
     }
 
     #[test]

@@ -252,6 +252,20 @@ impl Hierarchy {
             .or_else(|| self.llc.permissions(name))
     }
 
+    /// Iterates over every block name resident anywhere in the
+    /// hierarchy (all L1s, L2s and the LLC), including duplicates when
+    /// a block is cached at several levels. Used by the `hvc-check`
+    /// invariant sweeps to audit the single-name guarantee; not on any
+    /// simulation fast path.
+    pub fn resident_names(&self) -> impl Iterator<Item = BlockName> + '_ {
+        self.l1i
+            .iter()
+            .chain(&self.l1d)
+            .chain(&self.l2)
+            .flat_map(|c| c.resident_names())
+            .chain(self.llc.resident_names())
+    }
+
     /// Probes the whole hierarchy for `name` without side effects.
     pub fn contains(&self, name: BlockName) -> bool {
         self.llc.contains(name)
@@ -269,6 +283,19 @@ impl Hierarchy {
             dirty += c.flush_virt_page(asid, vpage).len() as u64;
         }
         dirty += self.llc.flush_virt_page(asid, vpage).len() as u64;
+        self.memory_writebacks += dirty;
+        dirty
+    }
+
+    /// Flushes all physically-named lines of the frame at `frame_base`
+    /// hierarchy-wide; returns the number of dirty lines written back.
+    /// Used by the OS when a synonym page's frame is freed for reuse.
+    pub fn flush_phys_frame(&mut self, frame_base: u64) -> u64 {
+        let mut dirty = 0u64;
+        for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
+            dirty += c.flush_phys_frame(frame_base).len() as u64;
+        }
+        dirty += self.llc.flush_phys_frame(frame_base).len() as u64;
         self.memory_writebacks += dirty;
         dirty
     }

@@ -1,0 +1,338 @@
+//! Whole-machine invariant sweeps.
+//!
+//! These walk every resident cache line, every TLB entry and every page
+//! table, so they are O(machine state) — run them periodically (see
+//! [`crate::CheckConfig::sweep_every`]), not per access.
+
+use crate::violation::Violation;
+use hvc_core::{SystemSim, VirtSystemSim};
+use hvc_os::{Kernel, Pte};
+use hvc_tlb::Tlb;
+use hvc_types::{Asid, BlockName, GuestPhysAddr, VirtAddr, VirtPage, PAGE_SHIFT, PAGE_SIZE};
+use std::collections::{HashMap, HashSet};
+
+/// Reserved-bit marker of Enigma canonical intermediate names (the
+/// shared-object address range, mirroring `system.rs`'s writeback
+/// decode).
+const ENIGMA_IA_BIT: u64 = 1 << 46;
+
+enum Resolved {
+    /// Machine (line-aligned) address the name currently maps to.
+    Machine(u64),
+    /// Cannot be resolved without being a violation (e.g. a canonical
+    /// name whose shared object vanished, which `write_back` drops too).
+    Skip,
+}
+
+fn describe(name: BlockName) -> String {
+    format!("{name:?}")
+}
+
+fn decode_canonical(base: u64) -> (hvc_os::ShmId, u64) {
+    let ia = base - ENIGMA_IA_BIT;
+    (hvc_os::ShmId((ia >> 34) as u32), ia & ((1 << 34) - 1))
+}
+
+/// Resolves a native block name to the machine line it currently maps
+/// to, or reports the stale-line violation.
+fn resolve_native(kernel: &Kernel, name: BlockName) -> Result<Resolved, Violation> {
+    match name {
+        BlockName::Phys(line) => Ok(Resolved::Machine(line.base_raw())),
+        BlockName::Virt(asid, line)
+            if asid == Asid::KERNEL && line.base_raw() & ENIGMA_IA_BIT != 0 =>
+        {
+            let (id, offset) = decode_canonical(line.base_raw());
+            match kernel.shm_phys_addr(id, offset) {
+                Some(pa) => Ok(Resolved::Machine(pa.as_u64())),
+                None => Ok(Resolved::Skip),
+            }
+        }
+        BlockName::Virt(asid, line) => {
+            let va = VirtAddr::new(line.base_raw());
+            match kernel.walk(asid, va.page_number()) {
+                Some((pte, _)) => Ok(Resolved::Machine(
+                    pte.frame.base().as_u64() + (line.base_raw() & (PAGE_SIZE - 1)),
+                )),
+                None => Err(Violation::StaleLine {
+                    name: describe(name),
+                }),
+            }
+        }
+    }
+}
+
+/// Checks the single-name guarantee over a set of resolved names:
+/// at most one name per machine line, except when every involved name
+/// is cached read-only (the paper's content-based sharing serves
+/// deduplicated read-only pages virtually under multiple names).
+fn audit_single_name<F>(resolved: &[(BlockName, u64)], writable: F, out: &mut Vec<Violation>)
+where
+    F: Fn(BlockName) -> bool,
+{
+    let mut owner: HashMap<u64, BlockName> = HashMap::new();
+    for &(name, line) in resolved {
+        match owner.get(&line) {
+            Some(&other) if other != name => {
+                if writable(name) || writable(other) {
+                    out.push(Violation::SingleName {
+                        line,
+                        a: describe(name),
+                        b: describe(other),
+                    });
+                }
+            }
+            Some(_) => {}
+            None => {
+                owner.insert(line, name);
+            }
+        }
+    }
+}
+
+fn vpn_of(vp: VirtPage) -> u64 {
+    vp.base().as_u64() >> PAGE_SHIFT
+}
+
+/// Checks one native TLB entry against the page tables.
+fn check_native_tlb_entry(
+    kernel: &Kernel,
+    tlb: &'static str,
+    asid: Asid,
+    vp: VirtPage,
+    pte: Pte,
+    out: &mut Vec<Violation>,
+) {
+    if asid == Asid::KERNEL {
+        // Enigma canonical entries index the intermediate address space;
+        // audit them against the shared object they decode to.
+        let base = vp.base().as_u64();
+        if base & ENIGMA_IA_BIT != 0 {
+            let (id, offset) = decode_canonical(base);
+            if let Some(pa) = kernel.shm_phys_addr(id, offset) {
+                let frame_base = pa.as_u64() & !(PAGE_SIZE - 1);
+                if pte.frame.base().as_u64() != frame_base {
+                    out.push(Violation::TlbStale {
+                        tlb,
+                        asid: asid.as_u16(),
+                        vpn: vpn_of(vp),
+                        detail: format!(
+                            "canonical entry maps frame {:#x}, object lives at {frame_base:#x}",
+                            pte.frame.base().as_u64()
+                        ),
+                    });
+                }
+            }
+        }
+        return;
+    }
+    match kernel.walk(asid, vp) {
+        None => out.push(Violation::TlbStale {
+            tlb,
+            asid: asid.as_u16(),
+            vpn: vpn_of(vp),
+            detail: "entry maps an unmapped page".into(),
+        }),
+        Some((kpte, _)) => {
+            if kpte.frame != pte.frame {
+                out.push(Violation::TlbStale {
+                    tlb,
+                    asid: asid.as_u16(),
+                    vpn: vpn_of(vp),
+                    detail: format!(
+                        "entry frame {:#x} != page-table frame {:#x}",
+                        pte.frame.base().as_u64(),
+                        kpte.frame.base().as_u64()
+                    ),
+                });
+            } else if pte.perm.is_writable() && !kpte.perm.is_writable() {
+                out.push(Violation::TlbStale {
+                    tlb,
+                    asid: asid.as_u16(),
+                    vpn: vpn_of(vp),
+                    detail: "entry is writable but the OS downgraded the page".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Audits every space's filter for false negatives: a page the OS marked
+/// shared must be a candidate in its space's synonym filter.
+fn audit_filters(kernel: &Kernel, out: &mut Vec<Violation>) {
+    for (asid, space) in kernel.spaces() {
+        for (vp, pte) in space.page_table().iter() {
+            if pte.shared && !space.filter.is_candidate(vp.base()) {
+                out.push(Violation::FilterFalseNegative {
+                    asid: asid.as_u16(),
+                    vpn: vpn_of(vp),
+                });
+            }
+        }
+    }
+}
+
+/// Sweeps a native simulator's whole state: stale lines, single-name,
+/// TLB soundness, filter false negatives, and the flush queue.
+pub fn check_system(sim: &SystemSim) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let kernel = sim.kernel();
+
+    let names: HashSet<BlockName> = sim.hierarchy().resident_names().collect();
+    let mut resolved = Vec::with_capacity(names.len());
+    for &name in &names {
+        match resolve_native(kernel, name) {
+            Err(v) => out.push(v),
+            Ok(Resolved::Skip) => {}
+            Ok(Resolved::Machine(line)) => resolved.push((name, line)),
+        }
+    }
+    resolved.sort_unstable();
+    audit_single_name(
+        &resolved,
+        |n| {
+            sim.hierarchy()
+                .cached_permissions(0, n)
+                .map(|p| p.is_writable())
+                .unwrap_or(false)
+        },
+        &mut out,
+    );
+
+    for t in sim.data_tlbs() {
+        for (asid, vp, pte) in t.entries() {
+            check_native_tlb_entry(kernel, "dtlb", asid, vp, pte, &mut out);
+        }
+    }
+    for t in sim.synonym_tlbs() {
+        for (asid, vp, pte) in t.entries() {
+            check_native_tlb_entry(kernel, "synonym_tlb", asid, vp, pte, &mut out);
+        }
+    }
+    for (asid, vp, pte) in sim.delayed_tlb().entries() {
+        check_native_tlb_entry(kernel, "delayed_tlb", asid, vp, pte, &mut out);
+    }
+
+    audit_filters(kernel, &mut out);
+
+    let pending = kernel.pending_flush_requests();
+    if pending > 0 {
+        out.push(Violation::PendingFlushes { pending });
+    }
+    out
+}
+
+/// Checks one virtualized (gVA→MA) TLB entry against the guest page
+/// tables and the EPT.
+#[allow(clippy::too_many_arguments)] // flat context of one TLB entry
+fn check_virt_tlb_entry(
+    gk: &Kernel,
+    hv: &hvc_virt::Hypervisor,
+    vmid: hvc_types::Vmid,
+    tlb: &'static str,
+    asid: Asid,
+    vp: VirtPage,
+    pte: Pte,
+    out: &mut Vec<Violation>,
+) {
+    match gk.walk(asid, vp) {
+        None => out.push(Violation::TlbStale {
+            tlb,
+            asid: asid.as_u16(),
+            vpn: vpn_of(vp),
+            detail: "entry maps an unmapped guest page".into(),
+        }),
+        Some((gpte, _)) => {
+            let gpa = GuestPhysAddr::new(gpte.frame.base().as_u64());
+            match hv.ept_walk(vmid, gpa) {
+                // Machine backing is established before every fill, so a
+                // missing EPT entry means nothing cacheable exists yet.
+                None => {}
+                Some((mpte, _)) => {
+                    if mpte.frame != pte.frame {
+                        out.push(Violation::TlbStale {
+                            tlb,
+                            asid: asid.as_u16(),
+                            vpn: vpn_of(vp),
+                            detail: format!(
+                                "entry machine frame {:#x} != EPT frame {:#x}",
+                                pte.frame.base().as_u64(),
+                                mpte.frame.base().as_u64()
+                            ),
+                        });
+                    } else if pte.perm.is_writable() && !gpte.perm.is_writable() {
+                        out.push(Violation::TlbStale {
+                            tlb,
+                            asid: asid.as_u16(),
+                            vpn: vpn_of(vp),
+                            detail: "entry is writable but the guest downgraded the page".into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sweeps a virtualized simulator's whole state; names and TLB entries
+/// are gVA-indexed and resolve through guest page tables plus the EPT.
+pub fn check_virt(sim: &VirtSystemSim) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let hv = sim.hypervisor();
+    let vmid = sim.vmid();
+    let Ok(gk) = hv.guest_kernel(vmid) else {
+        return out;
+    };
+
+    let names: HashSet<BlockName> = sim.hierarchy().resident_names().collect();
+    let mut resolved = Vec::with_capacity(names.len());
+    for &name in &names {
+        match name {
+            BlockName::Phys(line) => resolved.push((name, line.base_raw())),
+            BlockName::Virt(asid, line) => {
+                let va = VirtAddr::new(line.base_raw());
+                match gk.walk(asid, va.page_number()) {
+                    None => out.push(Violation::StaleLine {
+                        name: describe(name),
+                    }),
+                    Some((gpte, _)) => {
+                        let gpa = gpte.frame.base().as_u64() + (line.base_raw() & (PAGE_SIZE - 1));
+                        if let Some((mpte, _)) = hv.ept_walk(vmid, GuestPhysAddr::new(gpa)) {
+                            resolved
+                                .push((name, mpte.frame.base().as_u64() + (gpa & (PAGE_SIZE - 1))));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    resolved.sort_unstable();
+    audit_single_name(
+        &resolved,
+        |n| {
+            sim.hierarchy()
+                .cached_permissions(0, n)
+                .map(|p| p.is_writable())
+                .unwrap_or(false)
+        },
+        &mut out,
+    );
+
+    let tlbs: [(&'static str, &Tlb); 3] = [
+        ("gva_tlb", sim.gva_tlb()),
+        ("synonym_tlb", sim.synonym_tlb()),
+        ("delayed_tlb", sim.delayed_tlb()),
+    ];
+    for (which, tlb) in tlbs {
+        for (asid, vp, pte) in tlb.entries() {
+            check_virt_tlb_entry(gk, hv, vmid, which, asid, vp, pte, &mut out);
+        }
+    }
+
+    audit_filters(gk, &mut out);
+
+    let pending = gk.pending_flush_requests();
+    if pending > 0 {
+        out.push(Violation::PendingFlushes { pending });
+    }
+    out
+}

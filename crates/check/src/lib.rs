@@ -1,0 +1,36 @@
+//! Differential-oracle and runtime invariant checking (**hvc-check**).
+//!
+//! The paper's whole design rests on one guarantee: every physical
+//! block has exactly one name in the hierarchy, maintained by OS flush
+//! requests on unmap, ASID destruction and sharing transitions. This
+//! crate turns that guarantee (and its supporting invariants) into
+//! executable checks:
+//!
+//! * [`DiffHarness`] / [`VirtDiffHarness`] run any workload through the
+//!   scheme under test **and** a physically-addressed reference machine
+//!   in lockstep, comparing the OS-visible outcome of every access
+//!   (frame, permissions, synonym status) and the per-space synonym
+//!   partition.
+//! * [`check_system`] / [`check_virt`] sweep a simulator's entire state:
+//!   no virtually tagged line without a mapping (stale line), at most
+//!   one writable name per machine line (single-name), every TLB entry
+//!   consistent with the page tables, no synonym page missing from its
+//!   filter (false negative), and an empty flush queue.
+//! * [`stress`] generates seeded scripts of OS churn interleaved with
+//!   traffic and shrinks failures to minimal reproducers.
+//!
+//! Checking hooks into the simulators through
+//! [`hvc_types::CheckHooks`]; with no hooks installed the cost is a
+//! single branch per access, so production sweeps are unaffected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod invariants;
+mod oracle;
+pub mod stress;
+mod violation;
+
+pub use invariants::{check_system, check_virt};
+pub use oracle::{CheckConfig, DiffHarness, VirtDiffHarness};
+pub use violation::Violation;

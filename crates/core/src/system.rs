@@ -10,7 +10,8 @@ use hvc_os::{FlushRequest, Kernel, KernelStats, Pte};
 use hvc_segment::ManySegmentTranslator;
 use hvc_tlb::{PageWalker, Tlb, TlbHit, TwoLevelTlb};
 use hvc_types::{
-    AccessKind, Asid, BlockName, Cycles, MemRef, MergeStats, PhysAddr, TraceItem, VirtAddr,
+    AccessKind, Asid, BlockName, CheckHooks, Cycles, MemRef, MergeStats, PhysAddr, TraceItem,
+    VirtAddr,
 };
 use hvc_workloads::WorkloadInstance;
 use std::collections::HashMap;
@@ -54,6 +55,8 @@ pub struct SystemSim {
     obs: ObsReport,
     /// Optional bounded event tracer (`config.trace_capacity > 0`).
     tracer: Option<EventTracer>,
+    /// Optional runtime check hooks (one branch per access when unset).
+    hooks: Option<Box<dyn CheckHooks>>,
 }
 
 impl SystemSim {
@@ -99,6 +102,7 @@ impl SystemSim {
             refs: 0,
             kernel_mark: KernelStats::default(),
             obs: ObsReport::default(),
+            hooks: None,
         }
     }
 
@@ -119,6 +123,26 @@ impl SystemSim {
         &self.kernel
     }
 
+    /// The cache hierarchy (read-only; invariant sweeps).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Per-core synonym TLBs (read-only; invariant sweeps).
+    pub fn synonym_tlbs(&self) -> &[Tlb] {
+        &self.syn_tlb
+    }
+
+    /// Per-core two-level data TLBs (read-only; invariant sweeps).
+    pub fn data_tlbs(&self) -> &[TwoLevelTlb] {
+        &self.dtlb
+    }
+
+    /// The shared delayed TLB (read-only; invariant sweeps).
+    pub fn delayed_tlb(&self) -> &Tlb {
+        &self.delayed_tlb
+    }
+
     /// The event tracer, if tracing is enabled.
     pub fn tracer(&self) -> Option<&EventTracer> {
         self.tracer.as_ref()
@@ -128,6 +152,22 @@ impl SystemSim {
     /// capacity disables it again.
     pub fn enable_tracing(&mut self, capacity: usize) {
         self.tracer = (capacity > 0).then(|| EventTracer::new(capacity));
+    }
+
+    /// Installs runtime check hooks (see [`CheckHooks`]). With no hooks
+    /// installed the per-access cost is a single branch.
+    pub fn set_check_hooks(&mut self, hooks: Box<dyn CheckHooks>) {
+        self.hooks = Some(hooks);
+    }
+
+    /// Runs a kernel operation (unmap, process churn, sharing
+    /// transition, …) and immediately applies every flush it queued, so
+    /// the next access cannot observe a stale line or TLB entry. Use
+    /// this instead of mutating the kernel between accesses directly.
+    pub fn os<R>(&mut self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        let r = f(&mut self.kernel);
+        self.apply_flushes();
+        r
     }
 
     /// Records a trace event if tracing is on (~one branch when off).
@@ -257,6 +297,13 @@ impl SystemSim {
         self.obs.mem_latency.record(latency);
         self.trace("access", "mem", latency, core);
         self.core.memory(latency, mlp);
+        if self.hooks.is_some() {
+            let pending = self.kernel.pending_flush_requests();
+            let refs = self.refs;
+            if let Some(h) = &mut self.hooks {
+                h.access_boundary(refs, pending);
+            }
+        }
     }
 
     /// Synthesizes the next instruction fetch of `asid`: a walk around a
@@ -771,7 +818,9 @@ impl SystemSim {
     /// charging one shootdown's worth of bookkeeping to the counters via
     /// the kernel's own statistics.
     fn apply_flushes(&mut self) {
-        for req in self.kernel.drain_flush_requests() {
+        let reqs = self.kernel.drain_flush_requests();
+        let count = reqs.len();
+        for req in reqs {
             match req {
                 FlushRequest::Page(asid, vpn) => {
                     self.hierarchy.flush_virt_page(asid, vpn);
@@ -808,6 +857,17 @@ impl SystemSim {
                     }
                     self.delayed_tlb.flush_page(asid, vp);
                 }
+                FlushRequest::Frame(base) => {
+                    // TLB entries for the freed page die with the Page or
+                    // Space request the kernel queues alongside; only the
+                    // physically-tagged cache lines need flushing here.
+                    self.hierarchy.flush_phys_frame(base);
+                }
+            }
+        }
+        if count > 0 {
+            if let Some(h) = &mut self.hooks {
+                h.flushes_applied(count);
             }
         }
     }

@@ -7,8 +7,8 @@ use hvc_cache::Hierarchy;
 use hvc_mem::Dram;
 use hvc_tlb::Tlb;
 use hvc_types::{
-    AccessKind, Asid, BlockName, Cycles, GuestPhysAddr, MemRef, Permissions, PhysAddr, TraceItem,
-    VirtAddr, Vmid,
+    AccessKind, Asid, BlockName, CheckHooks, Cycles, GuestPhysAddr, MemRef, Permissions, PhysAddr,
+    TraceItem, VirtAddr, VirtPage, Vmid,
 };
 use hvc_virt::{Hypervisor, NestedSegments, NestedWalker};
 use hvc_workloads::WorkloadInstance;
@@ -52,6 +52,11 @@ pub struct VirtSystemSim {
     counters: TranslationCounters,
     refs: u64,
     nested_walks: u64,
+    hooks: Option<Box<dyn CheckHooks>>,
+    /// Fault injection for hvc-check self-tests: drops `Space` and
+    /// `DowngradeRo` guest flush requests, reproducing the historical
+    /// bug where only `Page` requests were applied.
+    drop_non_page_flushes: bool,
 }
 
 impl VirtSystemSim {
@@ -92,7 +97,23 @@ impl VirtSystemSim {
             counters: TranslationCounters::default(),
             refs: 0,
             nested_walks: 0,
+            hooks: None,
+            drop_non_page_flushes: false,
         })
+    }
+
+    /// Installs runtime check hooks (see [`CheckHooks`]). With no hooks
+    /// installed the per-access cost is a single branch.
+    pub fn set_check_hooks(&mut self, hooks: Box<dyn CheckHooks>) {
+        self.hooks = Some(hooks);
+    }
+
+    /// Fault injection for `hvc-check` self-tests: silently drop every
+    /// non-`Page` guest flush request (the pre-fix behaviour). Never set
+    /// in real simulations.
+    #[doc(hidden)]
+    pub fn inject_drop_non_page_flushes(&mut self) {
+        self.drop_non_page_flushes = true;
     }
 
     /// Resets statistics (contents kept) so measurements exclude warm-up.
@@ -140,6 +161,17 @@ impl VirtSystemSim {
             }
         };
         self.core.memory(latency, mlp);
+        if self.hooks.is_some() {
+            let pending = self
+                .hv
+                .guest_kernel(self.vmid)
+                .map(|k| k.pending_flush_requests())
+                .unwrap_or(0);
+            let refs = self.refs;
+            if let Some(h) = &mut self.hooks {
+                h.access_boundary(refs, pending);
+            }
+        }
     }
 
     /// Builds the report.
@@ -397,15 +429,7 @@ impl VirtSystemSim {
             .unwrap_or_else(|e| panic!("guest access {vaddr} in {asid} failed: {e}"));
         // Drain guest flush requests into the (machine-side) hierarchy.
         let reqs = gk.drain_flush_requests();
-        for req in reqs {
-            if let hvc_os::FlushRequest::Page(a, vpn) = req {
-                self.hierarchy.flush_virt_page(a, vpn);
-                self.syn_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
-                self.gva_tlb.flush_page(a, hvc_types::VirtPage::new(vpn));
-                self.delayed_tlb
-                    .flush_page(a, hvc_types::VirtPage::new(vpn));
-            }
-        }
+        self.apply_guest_flushes(reqs);
         // Machine backing for the guest PT pages and the data page.
         let (_, gpath) = self
             .hv
@@ -421,6 +445,110 @@ impl VirtSystemSim {
         self.hv
             .machine_addr(vmid, GuestPhysAddr::new(gpte.frame.base().as_u64()))
             .expect("machine memory available");
+    }
+
+    /// Applies guest-kernel flush requests to the machine-side hierarchy
+    /// and every gVA-indexed structure, mirroring the native path's
+    /// semantics in `system.rs`. All three TLBs are keyed by guest
+    /// virtual address + ASID, so every guest shootdown must reach each
+    /// of them; virtually tagged cache lines are likewise gVA-named.
+    fn apply_guest_flushes(&mut self, reqs: Vec<hvc_os::FlushRequest>) {
+        let count = reqs.len();
+        for req in reqs {
+            match req {
+                hvc_os::FlushRequest::Page(a, vpn) => {
+                    let vp = VirtPage::new(vpn);
+                    self.hierarchy.flush_virt_page(a, vpn);
+                    self.gva_tlb.flush_page(a, vp);
+                    self.syn_tlb.flush_page(a, vp);
+                    self.delayed_tlb.flush_page(a, vp);
+                }
+                hvc_os::FlushRequest::Space(a) => {
+                    if self.drop_non_page_flushes {
+                        continue;
+                    }
+                    self.hierarchy.flush_asid(a);
+                    self.gva_tlb.flush_asid(a);
+                    self.syn_tlb.flush_asid(a);
+                    self.delayed_tlb.flush_asid(a);
+                    // The nested walker's internal caches hold gVA-indexed
+                    // entries but expose no per-ASID shootdown, so flush
+                    // them whole (conservative, matches a real ASID reuse).
+                    self.walker.flush();
+                }
+                hvc_os::FlushRequest::DowngradeRo(a, vpn) => {
+                    if self.drop_non_page_flushes {
+                        continue;
+                    }
+                    let vp = VirtPage::new(vpn);
+                    self.hierarchy.downgrade_page_read_only(a, vpn);
+                    self.gva_tlb.flush_page(a, vp);
+                    self.syn_tlb.flush_page(a, vp);
+                    self.delayed_tlb.flush_page(a, vp);
+                }
+                hvc_os::FlushRequest::Frame(gpa_base) => {
+                    if self.drop_non_page_flushes {
+                        continue;
+                    }
+                    // The guest names frames by guest-physical address but
+                    // the hierarchy's physical tags are machine addresses:
+                    // translate through the EPT. No entry means no machine
+                    // backing was ever established, so nothing is cached.
+                    if let Some((mpte, _)) =
+                        self.hv.ept_walk(self.vmid, GuestPhysAddr::new(gpa_base))
+                    {
+                        self.hierarchy.flush_phys_frame(mpte.frame.base().as_u64());
+                    }
+                }
+            }
+        }
+        if count > 0 {
+            if let Some(h) = &mut self.hooks {
+                h.flushes_applied(count);
+            }
+        }
+    }
+
+    /// Runs a guest-kernel operation and immediately applies every flush
+    /// request it queued, so the next access cannot observe a stale line
+    /// or TLB entry. Returns the closure's result.
+    pub fn guest_os<R>(&mut self, f: impl FnOnce(&mut hvc_os::Kernel) -> R) -> R {
+        let vmid = self.vmid;
+        let gk = self.hv.guest_kernel_mut(vmid).expect("VM exists");
+        let r = f(gk);
+        let reqs = gk.drain_flush_requests();
+        self.apply_guest_flushes(reqs);
+        r
+    }
+
+    /// The cache hierarchy (read-only; invariant sweeps).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The hypervisor (read-only; invariant sweeps).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// The VM under simulation.
+    pub fn vmid(&self) -> Vmid {
+        self.vmid
+    }
+
+    /// The baseline gVA→MA TLB (read-only).
+    pub fn gva_tlb(&self) -> &Tlb {
+        &self.gva_tlb
+    }
+
+    /// The synonym TLB (read-only).
+    pub fn synonym_tlb(&self) -> &Tlb {
+        &self.syn_tlb
+    }
+
+    /// The delayed TLB (read-only).
+    pub fn delayed_tlb(&self) -> &Tlb {
+        &self.delayed_tlb
     }
 
     fn write_back(&mut self, name: BlockName) {
@@ -532,6 +660,63 @@ mod tests {
         assert!(r.translation.sc_lookups > 0);
         assert!(r.translation.segment_table_accesses > 0);
         assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn destroyed_guest_space_leaves_no_stale_lines() {
+        let (hv, vm, mut wl) = setup(AllocPolicy::DemandPaging, false);
+        let asid = wl.procs()[0].asid;
+        let mut sim = VirtSystemSim::new(
+            hv,
+            vm,
+            SystemConfig::isca2016(),
+            VirtScheme::HybridDelayedNested(1024),
+        )
+        .unwrap();
+        sim.run(&mut wl, 2000);
+        assert!(
+            sim.hierarchy()
+                .resident_names()
+                .any(|n| matches!(n, BlockName::Virt(a, _) if a == asid)),
+            "warm-up should leave virtually tagged lines for the process"
+        );
+        sim.guest_os(|gk| gk.destroy_process(asid).unwrap());
+        assert!(
+            sim.hierarchy()
+                .resident_names()
+                .all(|n| !matches!(n, BlockName::Virt(a, _) if a == asid)),
+            "stale virtually tagged lines survived guest ASID destruction"
+        );
+        assert!(
+            sim.gva_tlb().entries().all(|(a, _, _)| a != asid)
+                && sim.delayed_tlb().entries().all(|(a, _, _)| a != asid),
+            "stale TLB entries survived guest ASID destruction"
+        );
+    }
+
+    #[test]
+    fn injected_flush_drop_reproduces_stale_lines() {
+        // With the pre-fix fault injected (Space/DowngradeRo requests
+        // dropped), destroying the guest process leaves stale virtually
+        // tagged lines behind — exactly what hvc-check must flag.
+        let (hv, vm, mut wl) = setup(AllocPolicy::DemandPaging, false);
+        let asid = wl.procs()[0].asid;
+        let mut sim = VirtSystemSim::new(
+            hv,
+            vm,
+            SystemConfig::isca2016(),
+            VirtScheme::HybridDelayedNested(1024),
+        )
+        .unwrap();
+        sim.inject_drop_non_page_flushes();
+        sim.run(&mut wl, 2000);
+        sim.guest_os(|gk| gk.destroy_process(asid).unwrap());
+        assert!(
+            sim.hierarchy()
+                .resident_names()
+                .any(|n| matches!(n, BlockName::Virt(a, _) if a == asid)),
+            "fault injection should reproduce the dropped-flush bug"
+        );
     }
 
     #[test]

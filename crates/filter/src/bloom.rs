@@ -182,6 +182,32 @@ mod tests {
     }
 
     #[test]
+    fn coarsest_legal_granularity_still_hashes() {
+        // At exactly VIRT_ADDR_BITS - INDEX_BITS the key is down to the
+        // ten index bits — the coarsest filter the constructor accepts.
+        let shift = VIRT_ADDR_BITS - INDEX_BITS;
+        let mut f = BloomFilter::new(shift);
+        assert_eq!(f.granularity_shift(), shift);
+        let base = VirtAddr::new(7u64 << shift);
+        f.insert(base);
+        // The whole 1 << shift region aliases to the same key, up to the
+        // very last byte of the region.
+        assert!(f.contains(base));
+        assert!(f.contains(VirtAddr::new((7u64 << shift) + (1u64 << shift) - 1)));
+        // Index computation stays in range even for the topmost region
+        // of the 48-bit space.
+        let top = VirtAddr::new((1u64 << VIRT_ADDR_BITS) - 1);
+        f.insert(top);
+        assert!(f.contains(top));
+    }
+
+    #[test]
+    #[should_panic(expected = "too few bits")]
+    fn one_past_the_granularity_boundary_is_rejected() {
+        let _ = BloomFilter::new(VIRT_ADDR_BITS - INDEX_BITS + 1);
+    }
+
+    #[test]
     #[should_panic(expected = "too few bits")]
     fn absurd_granularity_rejected() {
         let _ = BloomFilter::new(40);

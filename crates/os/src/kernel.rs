@@ -62,6 +62,11 @@ pub enum FlushRequest {
     Space(Asid),
     /// Downgrade a page's cached permission bits to read-only.
     DowngradeRo(Asid, u64),
+    /// Flush physically-named lines of one freed frame (base address).
+    /// Synonym pages are cached by physical address, so releasing their
+    /// frame for reuse must invalidate those lines too — the per-space
+    /// requests above only reach virtually-tagged state.
+    Frame(u64),
 }
 
 /// Kernel event counters.
@@ -255,7 +260,13 @@ impl Kernel {
                 .map(|v| v.backing);
             match backing {
                 Some(VmaBacking::Shared(_)) | Some(VmaBacking::SharedRo(_)) => {}
-                _ => self.frames.free_exact(pte.frame, 1),
+                _ => {
+                    if pte.shared {
+                        self.flush_queue
+                            .push(FlushRequest::Frame(pte.frame.base().as_u64()));
+                    }
+                    self.frames.free_exact(pte.frame, 1);
+                }
             }
         }
         for vma in space.vmas.values() {
@@ -428,6 +439,10 @@ impl Kernel {
             let vp = first.offset(i);
             if let Some(pte) = space.page_table.unmap(vp) {
                 if !shared_obj {
+                    if pte.shared {
+                        self.flush_queue
+                            .push(FlushRequest::Frame(pte.frame.base().as_u64()));
+                    }
                     self.frames.free_exact(pte.frame, 1);
                 }
                 self.flush_queue.push(FlushRequest::Page(asid, vp.as_u64()));
@@ -829,6 +844,14 @@ impl Kernel {
     /// applies them to the cache hierarchy and TLBs).
     pub fn drain_flush_requests(&mut self) -> Vec<FlushRequest> {
         std::mem::take(&mut self.flush_queue)
+    }
+
+    /// Number of flush requests queued but not yet drained. The
+    /// simulators assert this is zero at access boundaries when runtime
+    /// checking is enabled: a non-empty queue means a kernel operation's
+    /// shootdowns could be observed late by the next access.
+    pub fn pending_flush_requests(&self) -> usize {
+        self.flush_queue.len()
     }
 
     /// Kernel event counters.
@@ -1318,6 +1341,52 @@ mod tests {
     }
 
     #[test]
+    fn freeing_a_synonym_frame_requests_a_phys_flush() {
+        // A page that went through mark_page_shared is cached by
+        // physical address; releasing its frame back to the allocator
+        // must also flush those physically-named lines, both on munmap
+        // and on process destruction.
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        k.mmap(
+            a,
+            VirtAddr::new(0x3000_0000),
+            0x2000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
+        let pte = k.translate_touch(a, VirtAddr::new(0x3000_0000)).unwrap();
+        k.mark_page_shared(a, VirtAddr::new(0x3000_0000)).unwrap();
+        k.drain_flush_requests();
+        k.munmap(a, VirtAddr::new(0x3000_0000)).unwrap();
+        let reqs = k.drain_flush_requests();
+        assert!(
+            reqs.contains(&FlushRequest::Frame(pte.frame.base().as_u64())),
+            "munmap of a synonym page must flush its frame: {reqs:?}"
+        );
+
+        let b = k.create_process().unwrap();
+        k.mmap(
+            b,
+            VirtAddr::new(0x4000_0000),
+            0x1000,
+            Permissions::RW,
+            MapIntent::Private,
+        )
+        .unwrap();
+        let pte = k.translate_touch(b, VirtAddr::new(0x4000_0000)).unwrap();
+        k.mark_page_shared(b, VirtAddr::new(0x4000_0000)).unwrap();
+        k.drain_flush_requests();
+        k.destroy_process(b).unwrap();
+        let reqs = k.drain_flush_requests();
+        assert!(
+            reqs.contains(&FlushRequest::Frame(pte.frame.base().as_u64())),
+            "destroy of a space with synonym pages must flush their frames: {reqs:?}"
+        );
+    }
+
+    #[test]
     fn destroy_process_releases_resources() {
         let mut k = eager_kernel();
         let a = k.create_process().unwrap();
@@ -1485,6 +1554,46 @@ mod tests {
             .unwrap()
             .filter
             .is_candidate(VirtAddr::new(0x7000_0000)));
+    }
+
+    #[test]
+    fn automatic_rebuild_never_drops_live_synonym_pages() {
+        // A saturation-triggered rebuild reconstructs the filter from the
+        // page tables, so it must keep every still-mapped synonym page a
+        // candidate — a false negative here would let a synonym access
+        // bypass translation and read a stale virtually-named line.
+        let mut k = demand_kernel();
+        let a = k.create_process().unwrap();
+        let live = k.shm_create(0x10_000).unwrap();
+        let live_va = VirtAddr::new(0x6000_0000);
+        k.mmap(
+            a,
+            live_va,
+            0x10_000,
+            Permissions::RW,
+            MapIntent::Shared(live),
+        )
+        .unwrap();
+        // Populate the page table: the rebuild only sees present entries.
+        for p in 0..16u64 {
+            k.translate_touch(a, VirtAddr::new(0x6000_0000 + p * 0x1000))
+                .unwrap();
+        }
+        // Churn unrelated shared regions past FILTER_STALE_LIMIT pages
+        // of stale unmaps to force at least one automatic rebuild.
+        for i in 0..3u64 {
+            let shm = k.shm_create(0x40_000).unwrap();
+            let va = VirtAddr::new(0x7000_0000 + i * 0x100_0000);
+            k.mmap(a, va, 0x40_000, Permissions::RW, MapIntent::Shared(shm))
+                .unwrap();
+            k.munmap(a, va).unwrap();
+        }
+        assert!(k.stats().filter_rebuilds >= 1);
+        let filter = &k.space(a).unwrap().filter;
+        for p in 0..16u64 {
+            let va = VirtAddr::new(0x6000_0000 + p * 0x1000 + 0x123);
+            assert!(filter.is_candidate(va), "false negative at page {p}");
+        }
     }
 
     #[test]

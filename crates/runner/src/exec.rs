@@ -27,11 +27,20 @@ pub struct RunOptions {
     /// with [`MergeStats`], exercising the same path a distributed
     /// sweep would use to combine shards.
     pub shards: usize,
+    /// Re-run every cell through the `hvc-check` differential oracle
+    /// after measuring it and fail the sweep on any invariant violation.
+    /// Checking runs on a separate simulator pair, so the reported
+    /// statistics are bitwise unaffected.
+    pub check: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { jobs: 1, shards: 1 }
+        RunOptions {
+            jobs: 1,
+            shards: 1,
+            check: false,
+        }
     }
 }
 
@@ -102,13 +111,14 @@ pub fn run_sweep(exp: &Experiment, opts: &RunOptions) -> Result<SweepOutcome, St
                     return;
                 };
                 let index = cell.index;
-                let outcome = run_cell(exp, &cell, opts.shards, replay_items.as_deref()).map(
-                    |(report, filters)| CellResult {
-                        cell,
-                        report,
-                        filters,
-                    },
-                );
+                let outcome =
+                    run_cell(exp, &cell, opts.shards, replay_items.as_deref(), opts.check).map(
+                        |(report, filters)| CellResult {
+                            cell,
+                            report,
+                            filters,
+                        },
+                    );
                 *slots[index].lock().unwrap() = Some(outcome);
             });
         }
@@ -135,21 +145,17 @@ pub fn run_cell(
     cell: &Cell,
     shards: usize,
     replay: Option<&[TraceItem]>,
+    check: bool,
 ) -> Result<(RunReport, Vec<FilterOccupancy>), String> {
+    if check && replay.is_some() {
+        return Err("--check does not support trace replay (the oracle needs the workload)".into());
+    }
     let spec = params::workload_by_name(&cell.workload, exp.mem)
         .ok_or_else(|| format!("unknown workload '{}'", cell.workload))?;
     let (scheme, policy) = params::parse_scheme(&cell.scheme)
         .ok_or_else(|| format!("unknown scheme '{}'", cell.scheme))?;
 
-    let mut config = SystemConfig::isca2016();
-    config.hierarchy = hvc_cache::HierarchyConfig::isca2016(exp.cores.max(1));
-    if cell.llc_bytes != config.hierarchy.llc.size_bytes {
-        if !params::valid_llc(cell.llc_bytes) {
-            return Err(format!("invalid LLC capacity {}", cell.llc_bytes));
-        }
-        config.hierarchy.llc = hvc_cache::CacheConfig::new(cell.llc_bytes, 16, Cycles::new(27));
-    }
-    config.model_ifetch = exp.ifetch;
+    let config = cell_config(exp, cell)?;
 
     let mut kernel = Kernel::new(16 << 30, policy);
     let mut wl = spec
@@ -193,7 +199,65 @@ pub fn run_cell(
         }
     }
     let report = merged.ok_or_else(|| String::from("no measurement windows"))?;
+    if check {
+        check_cell(exp, cell, scheme, policy)?;
+    }
     Ok((report, filter_occupancy(&sim)))
+}
+
+/// Builds the per-cell system configuration (shared by the measurement
+/// run and the `--check` oracle pass, which must agree exactly).
+fn cell_config(exp: &Experiment, cell: &Cell) -> Result<SystemConfig, String> {
+    let mut config = SystemConfig::isca2016();
+    config.hierarchy = hvc_cache::HierarchyConfig::isca2016(exp.cores.max(1));
+    if cell.llc_bytes != config.hierarchy.llc.size_bytes {
+        if !params::valid_llc(cell.llc_bytes) {
+            return Err(format!("invalid LLC capacity {}", cell.llc_bytes));
+        }
+        config.hierarchy.llc = hvc_cache::CacheConfig::new(cell.llc_bytes, 16, Cycles::new(27));
+    }
+    config.model_ifetch = exp.ifetch;
+    Ok(config)
+}
+
+/// Re-runs the cell through the `hvc-check` differential oracle: the
+/// identical workload, seed and configuration on the scheme under test
+/// and a physically-addressed reference machine in lockstep, with
+/// whole-machine invariant sweeps along the way.
+fn check_cell(
+    exp: &Experiment,
+    cell: &Cell,
+    scheme: hvc_core::TranslationScheme,
+    policy: hvc_os::AllocPolicy,
+) -> Result<(), String> {
+    let spec = params::workload_by_name(&cell.workload, exp.mem)
+        .ok_or_else(|| format!("unknown workload '{}'", cell.workload))?;
+    let (mut harness, mut wl) = hvc_check::DiffHarness::new(
+        cell_config(exp, cell)?,
+        scheme,
+        hvc_check::CheckConfig::default(),
+        16 << 30,
+        policy,
+        |k| spec.instantiate(k, cell.seed),
+    )
+    .map_err(|e| format!("check setup failed: {e}"))?;
+    if exp.warm > 0 {
+        harness.warm_up(&mut wl, exp.warm);
+    }
+    harness.run(&mut wl, exp.refs);
+    let violations = harness.finish();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "invariant violations under --check: {}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        ))
+    }
 }
 
 /// Samples the end-of-run synonym-filter occupancy of every address
@@ -262,8 +326,24 @@ mod tests {
     #[test]
     fn jobs_do_not_change_results() {
         let exp = tiny();
-        let serial = run_sweep(&exp, &RunOptions { jobs: 1, shards: 1 }).unwrap();
-        let parallel = run_sweep(&exp, &RunOptions { jobs: 4, shards: 1 }).unwrap();
+        let serial = run_sweep(
+            &exp,
+            &RunOptions {
+                jobs: 1,
+                shards: 1,
+                check: false,
+            },
+        )
+        .unwrap();
+        let parallel = run_sweep(
+            &exp,
+            &RunOptions {
+                jobs: 4,
+                shards: 1,
+                check: false,
+            },
+        )
+        .unwrap();
         assert_eq!(serial.results.len(), parallel.results.len());
         for (a, b) in serial.results.iter().zip(parallel.results.iter()) {
             assert_eq!(a.cell, b.cell);
@@ -279,8 +359,24 @@ mod tests {
     #[test]
     fn sharded_run_merges_to_the_unsharded_report() {
         let exp = tiny();
-        let whole = run_sweep(&exp, &RunOptions { jobs: 1, shards: 1 }).unwrap();
-        let sharded = run_sweep(&exp, &RunOptions { jobs: 1, shards: 4 }).unwrap();
+        let whole = run_sweep(
+            &exp,
+            &RunOptions {
+                jobs: 1,
+                shards: 1,
+                check: false,
+            },
+        )
+        .unwrap();
+        let sharded = run_sweep(
+            &exp,
+            &RunOptions {
+                jobs: 1,
+                shards: 4,
+                check: false,
+            },
+        )
+        .unwrap();
         for (a, b) in whole.results.iter().zip(sharded.results.iter()) {
             assert_eq!(a.report.instructions, b.report.instructions);
             assert_eq!(a.report.cycles, b.report.cycles);
@@ -298,5 +394,34 @@ mod tests {
         let mut exp = tiny();
         exp.replay = Some("/nonexistent/trace.hvct".into());
         assert!(run_sweep(&exp, &RunOptions::default()).is_err());
+    }
+
+    #[test]
+    fn checked_sweep_passes_and_reports_match_unchecked() {
+        let mut exp = tiny();
+        exp.refs = 2_000;
+        exp.warm = 500;
+        let plain = run_sweep(&exp, &RunOptions::default()).unwrap();
+        let checked = run_sweep(
+            &exp,
+            &RunOptions {
+                check: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in plain.results.iter().zip(checked.results.iter()) {
+            assert_eq!(a.report.cycles, b.report.cycles);
+            assert_eq!(a.report.translation, b.report.translation);
+            assert_eq!(a.report.cache, b.report.cache);
+        }
+    }
+
+    #[test]
+    fn check_refuses_trace_replay() {
+        let exp = tiny();
+        let cell = &exp.cells()[0];
+        let err = run_cell(&exp, cell, 1, Some(&[]), true).unwrap_err();
+        assert!(err.contains("replay"), "unexpected error: {err}");
     }
 }

@@ -25,7 +25,7 @@
 //! let mut exp = presets::preset("smoke").unwrap();
 //! exp.refs = 2_000; // keep the doctest quick
 //! exp.warm = 500;
-//! let opts = RunOptions { jobs: 2, shards: 1 };
+//! let opts = RunOptions { jobs: 2, shards: 1, check: false };
 //! let outcome = run_sweep(&exp, &opts).unwrap();
 //! let doc = sweep_report(&exp, &opts, &outcome);
 //! assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 2);

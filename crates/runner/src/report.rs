@@ -1,10 +1,10 @@
 //! JSON sweep reports.
 //!
-//! # Schema `hvc-sweep-report/2`
+//! # Schema `hvc-sweep-report/3`
 //!
 //! ```text
 //! {
-//!   "schema": "hvc-sweep-report/2",
+//!   "schema": "hvc-sweep-report/3",
 //!   "simulator": { "name": "hvc", "version": "<crate version>" },
 //!   "experiment": {
 //!     "name", "workloads" [], "schemes" [], "seeds" [], "llc_bytes" [],
@@ -24,10 +24,13 @@
 //!                          "front_tlb_accesses", "total_tlb_misses" },
 //!         "cache": { "l1i" [], "l1d" [], "l2" [],
 //!                    "llc" { "hits", "misses", "evictions",
-//!                            "writebacks", "invalidations" },
+//!                            "writebacks", "invalidations",
+//!                            "miss_rate" (float|null) },
 //!                    "coherence_invalidations", "memory_writebacks" },
 //!         "dram": { "reads", "writes", "row_hits", "row_misses",
-//!                   "row_conflicts", "total_latency_cycles" },
+//!                   "row_conflicts", "total_latency_cycles",
+//!                   "row_hit_rate" (float|null),
+//!                   "mean_latency" (float|null) },
 //!         "energy_uj": <translation energy, µJ>,
 //!         "os": { "minor_faults", "shootdowns", "cow_breaks",
 //!                 "flushed_pages", "filter_insertions",
@@ -48,8 +51,11 @@
 //! ```
 //!
 //! All counters are exact `u64`; derived floats (`ipc`, `energy_uj`,
-//! saturations, `mean`) are pure functions of the counters, so the
-//! whole `cells` array is byte-identical for identical statistics.
+//! saturations, `mean`, the cache/DRAM rates) are pure functions of the
+//! counters, so the whole `cells` array is byte-identical for identical
+//! statistics. Derived rates over an empty denominator — a cache level
+//! that saw no accesses, a cell with no DRAM traffic — are emitted as
+//! JSON `null`, never `NaN` (which is not valid JSON).
 //! `wall_ms` is the only field that varies between invocations, and it
 //! lives outside the per-cell objects on purpose. Percentiles are
 //! computed from the merged log₂ histogram buckets with integer rank
@@ -66,7 +72,7 @@ use hvc_obs::{Component, CycleAttribution, LatencyHistogram, TraceEvent};
 use hvc_os::KernelStats;
 
 /// The schema identifier written into every report.
-pub const SCHEMA: &str = "hvc-sweep-report/2";
+pub const SCHEMA: &str = "hvc-sweep-report/3";
 
 fn object(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
@@ -309,6 +315,9 @@ fn level_value(l: &LevelStats) -> Value {
         ("evictions", Value::UInt(l.evictions)),
         ("writebacks", Value::UInt(l.writebacks)),
         ("invalidations", Value::UInt(l.invalidations)),
+        // Derived; null rather than NaN when the level saw no accesses
+        // (empty measurement windows, ifetch-only levels, …).
+        ("miss_rate", l.miss_rate().map_or(Value::Null, Value::Float)),
     ])
 }
 
@@ -335,6 +344,15 @@ fn dram_value(d: &DramStats) -> Value {
         ("row_misses", Value::UInt(d.row_misses)),
         ("row_conflicts", Value::UInt(d.row_conflicts)),
         ("total_latency_cycles", Value::UInt(d.total_latency.get())),
+        // Derived; null rather than NaN for a cell with no DRAM traffic.
+        (
+            "row_hit_rate",
+            d.row_hit_rate().map_or(Value::Null, Value::Float),
+        ),
+        (
+            "mean_latency",
+            d.mean_latency().map_or(Value::Null, Value::Float),
+        ),
     ])
 }
 
@@ -370,7 +388,15 @@ mod tests {
             }],
             wall: Duration::from_millis(12),
         };
-        (exp, RunOptions { jobs: 2, shards: 1 }, outcome)
+        (
+            exp,
+            RunOptions {
+                jobs: 2,
+                shards: 1,
+                check: false,
+            },
+            outcome,
+        )
     }
 
     #[test]
@@ -387,6 +413,25 @@ mod tests {
         assert!(stats.get("translation").unwrap().get("pte_reads").is_some());
         assert!(stats.get("cache").unwrap().get("llc").is_some());
         assert!(stats.get("dram").unwrap().get("reads").is_some());
+    }
+
+    #[test]
+    fn empty_cell_rates_are_null_not_nan() {
+        // A report with zero cache accesses and zero DRAM traffic must
+        // emit null for the derived rates: NaN is not valid JSON and a
+        // 0/0 division would produce exactly that.
+        let (exp, opts, outcome) = fake_outcome();
+        let doc = sweep_report(&exp, &opts, &outcome);
+        let stats = doc.get("cells").unwrap().as_array().unwrap()[0]
+            .get("stats")
+            .unwrap();
+        let llc = stats.get("cache").unwrap().get("llc").unwrap();
+        assert_eq!(llc.get("miss_rate"), Some(&Value::Null));
+        let dram = stats.get("dram").unwrap();
+        assert_eq!(dram.get("row_hit_rate"), Some(&Value::Null));
+        assert_eq!(dram.get("mean_latency"), Some(&Value::Null));
+        // The whole document still round-trips through the strict parser.
+        assert!(crate::json::parse(&doc.to_pretty()).is_ok());
     }
 
     #[test]

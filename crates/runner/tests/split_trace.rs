@@ -34,8 +34,24 @@ fn split_replay_merges_to_the_whole_run() {
         ..Default::default()
     };
 
-    let whole = run_sweep(&exp, &RunOptions { jobs: 1, shards: 1 }).expect("whole run");
-    let split = run_sweep(&exp, &RunOptions { jobs: 1, shards: 5 }).expect("split run");
+    let whole = run_sweep(
+        &exp,
+        &RunOptions {
+            jobs: 1,
+            shards: 1,
+            check: false,
+        },
+    )
+    .expect("whole run");
+    let split = run_sweep(
+        &exp,
+        &RunOptions {
+            jobs: 1,
+            shards: 5,
+            check: false,
+        },
+    )
+    .expect("split run");
 
     assert_eq!(whole.results.len(), split.results.len());
     for (a, b) in whole.results.iter().zip(split.results.iter()) {
@@ -87,8 +103,16 @@ fn obs_invariants(ifetch: bool) {
         ..Default::default()
     };
 
-    let serial_opts = RunOptions { jobs: 1, shards: 1 };
-    let parallel_opts = RunOptions { jobs: 4, shards: 2 };
+    let serial_opts = RunOptions {
+        jobs: 1,
+        shards: 1,
+        check: false,
+    };
+    let parallel_opts = RunOptions {
+        jobs: 4,
+        shards: 2,
+        check: false,
+    };
     let serial = run_sweep(&exp, &serial_opts).expect("serial run");
     let parallel = run_sweep(&exp, &parallel_opts).expect("parallel run");
 

@@ -230,6 +230,16 @@ impl Tlb {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
     }
+
+    /// Iterates over all valid entries as `(asid, vpage, pte)`. Used by
+    /// the `hvc-check` invariant sweeps to audit cached translations
+    /// against the page tables; not on any simulation fast path.
+    pub fn entries(&self) -> impl Iterator<Item = (Asid, VirtPage, Pte)> + '_ {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|e| (e.asid, VirtPage::new(e.vpn), e.pte))
+    }
 }
 
 #[cfg(test)]

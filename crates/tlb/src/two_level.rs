@@ -86,6 +86,13 @@ impl TwoLevelTlb {
         self.l2.stats().misses
     }
 
+    /// Iterates over all valid entries in both levels (see
+    /// [`Tlb::entries`]); entries resident in both L1 and L2 appear
+    /// twice.
+    pub fn entries(&self) -> impl Iterator<Item = (Asid, VirtPage, Pte)> + '_ {
+        self.l1.entries().chain(self.l2.entries())
+    }
+
     /// Resets statistics on both levels.
     pub fn reset_stats(&mut self) {
         self.l1.reset_stats();

@@ -32,6 +32,7 @@
 
 mod access;
 mod addr;
+mod check;
 mod cycles;
 mod error;
 mod ids;
@@ -43,6 +44,7 @@ pub use addr::{
     GuestPhysAddr, LineAddr, PhysAddr, PhysFrame, VirtAddr, VirtPage, LINE_SHIFT, LINE_SIZE,
     PAGE_SHIFT, PAGE_SIZE, PHYS_ADDR_BITS, VIRT_ADDR_BITS,
 };
+pub use check::{CheckHooks, NoChecks};
 pub use cycles::Cycles;
 pub use error::{HvcError, Result};
 pub use ids::{Asid, BlockName, Vmid};

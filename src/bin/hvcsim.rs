@@ -6,12 +6,15 @@
 //! hvcsim --workload postgres --scheme dtlb:4096 --llc 8M --warm 200000
 //! hvcsim sweep --preset fig9 --jobs 4 --out fig9.json
 //! hvcsim sweep --workloads gups,mcf --schemes baseline,manyseg --out report.json
+//! hvcsim check --preset smoke --seed-range 0..8
 //! hvcsim --list
 //! ```
 
-use hvc::core::{EnergyModel, SystemConfig, SystemSim};
-use hvc::os::Kernel;
-use hvc::runner::{params, presets, run_sweep, sweep_report, Experiment, RunOptions};
+use hvc::check::{stress, CheckConfig, VirtDiffHarness};
+use hvc::core::{EnergyModel, SystemConfig, SystemSim, VirtScheme};
+use hvc::os::{AllocPolicy, Kernel};
+use hvc::runner::{params, presets, run_cell, run_sweep, sweep_report, Experiment, RunOptions};
+use hvc::virt::Hypervisor;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -20,6 +23,7 @@ hvcsim — hybrid virtual caching simulator (ISCA 2016 reproduction)
 USAGE:
     hvcsim [OPTIONS]                 run one simulation
     hvcsim sweep [SWEEP OPTIONS]     run an experiment grid in parallel
+    hvcsim check [CHECK OPTIONS]     run the correctness checker
 
 OPTIONS:
     --workload <name>    workload profile (see --list)        [default: gups]
@@ -50,16 +54,24 @@ SWEEP OPTIONS:
     --refs / --warm / --mem / --cores / --ifetch / --replay   as above
     --jobs <n>           worker threads                       [default: 1]
     --shards <n>         measurement windows merged per cell  [default: 1]
+    --check              verify every cell with the hvc-check oracle
     --out <path>         write the JSON report here (default: stdout)
     --list-presets       list presets and exit
+
+CHECK OPTIONS:
+    --preset <name>      check every cell of a named grid     [default: smoke]
+    --workloads / --schemes / --seeds / --refs / --warm / --mem   as above
+    --seed-range <a..b>  randomized stress-script seeds       [default: 0..4]
+    --stress-ops <n>     operations per stress script         [default: 400]
+    --native-only        skip the virtualized (nested) harnesses
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("sweep") {
-        sweep_main(&args[1..])
-    } else {
-        single_main(&args)
+    match args.first().map(String::as_str) {
+        Some("sweep") => sweep_main(&args[1..]),
+        Some("check") => check_main(&args[1..]),
+        _ => single_main(&args),
     }
 }
 
@@ -167,6 +179,7 @@ fn sweep_main(args: &[String]) -> ExitCode {
                 Some(v) if v > 0 => opts.shards = v,
                 _ => return bad(),
             },
+            "--check" => opts.check = true,
             "--out" => match next(&mut i) {
                 Some(v) => out = Some(v),
                 None => return bad(),
@@ -245,6 +258,247 @@ fn sweep_main(args: &[String]) -> ExitCode {
         None => print!("{text}"),
     }
     ExitCode::SUCCESS
+}
+
+/// `hvcsim check ...`: run the differential oracle over a grid of
+/// native cells, the virtualized harnesses, and seeded stress scripts.
+/// Exits non-zero on the first invariant violation.
+fn check_main(args: &[String]) -> ExitCode {
+    let mut exp: Option<Experiment> = None;
+    let mut workloads: Option<Vec<String>> = None;
+    let mut schemes: Option<Vec<String>> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut refs: Option<usize> = None;
+    let mut warm: Option<usize> = None;
+    let mut mem: Option<u64> = None;
+    let mut seed_range = 0u64..4u64;
+    let mut stress_ops = 400usize;
+    let mut native_only = false;
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> Option<String> {
+        *i += 1;
+        args.get(*i - 1).cloned()
+    };
+    while i < args.len() {
+        let arg = args[i].clone();
+        i += 1;
+        let bad = || {
+            eprintln!("invalid or missing value for {arg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--preset" => match next(&mut i).as_deref().and_then(presets::preset) {
+                Some(p) => exp = Some(p),
+                None => {
+                    eprintln!("unknown preset (try --list-presets)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workloads" => match next(&mut i) {
+                Some(v) => workloads = Some(split_list(&v)),
+                None => return bad(),
+            },
+            "--schemes" => match next(&mut i) {
+                Some(v) => schemes = Some(split_list(&v)),
+                None => return bad(),
+            },
+            "--seeds" => {
+                match next(&mut i)
+                    .map(|v| split_list(&v))
+                    .and_then(|l| l.iter().map(|s| s.parse().ok()).collect())
+                {
+                    Some(v) => seeds = Some(v),
+                    None => return bad(),
+                }
+            }
+            "--refs" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => refs = Some(v),
+                None => return bad(),
+            },
+            "--warm" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => warm = Some(v),
+                None => return bad(),
+            },
+            "--mem" => match next(&mut i).and_then(|v| params::parse_size(&v)) {
+                Some(v) => mem = Some(v),
+                None => return bad(),
+            },
+            "--seed-range" => {
+                match next(&mut i).and_then(|v| {
+                    let (a, b) = v.split_once("..")?;
+                    Some(a.trim().parse().ok()?..b.trim().parse().ok()?)
+                }) {
+                    Some(r) => seed_range = r,
+                    None => return bad(),
+                }
+            }
+            "--stress-ops" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => stress_ops = v,
+                None => return bad(),
+            },
+            "--native-only" => native_only = true,
+            _ => {
+                eprintln!("unknown option {arg}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut exp = exp.unwrap_or_else(|| presets::preset("smoke").expect("smoke preset exists"));
+    if let Some(v) = workloads {
+        exp.workloads = v;
+    }
+    if let Some(v) = schemes {
+        exp.schemes = v;
+    }
+    if let Some(v) = seeds {
+        exp.seeds = v;
+    }
+    if let Some(v) = refs {
+        exp.refs = v;
+    }
+    if let Some(v) = warm {
+        exp.warm = v;
+    }
+    if let Some(v) = mem {
+        exp.mem = v;
+    }
+    exp.replay = None;
+    if let Err(e) = exp.validate() {
+        eprintln!("invalid grid: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+
+    // Native cells: measurement plus the differential-oracle pass.
+    let cells = exp.cells();
+    eprintln!("checking {} native cell(s)…", cells.len());
+    for cell in &cells {
+        match run_cell(&exp, cell, 1, None, true) {
+            Ok(_) => eprintln!(
+                "  ok   {} / {} / seed {}",
+                cell.workload, cell.scheme, cell.seed
+            ),
+            Err(e) => {
+                eprintln!(
+                    "  FAIL {} / {} / seed {}: {e}",
+                    cell.workload, cell.scheme, cell.seed
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Virtualized harnesses: every workload under both nested hybrid
+    // schemes, against the nested-baseline reference.
+    if !native_only {
+        let virt_schemes = [
+            VirtScheme::HybridDelayedNested(1024),
+            VirtScheme::HybridNestedSegments,
+        ];
+        eprintln!(
+            "checking {} virtualized run(s)…",
+            exp.workloads.len() * exp.seeds.len() * virt_schemes.len()
+        );
+        for workload in &exp.workloads {
+            for &seed in &exp.seeds {
+                for &scheme in &virt_schemes {
+                    match check_virt_workload(&exp, workload, seed, scheme) {
+                        Ok(()) => eprintln!("  ok   {workload} / {scheme:?} / seed {seed}"),
+                        Err(e) => {
+                            eprintln!("  FAIL {workload} / {scheme:?} / seed {seed}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Seeded stress scripts with shrinking.
+    eprintln!(
+        "running stress scripts for seeds {}..{} ({stress_ops} ops each)…",
+        seed_range.start, seed_range.end
+    );
+    for seed in seed_range {
+        let ops = stress::generate(seed, stress_ops);
+        match stress::run_script(&ops) {
+            Ok(v) if v.is_empty() => eprintln!("  ok   stress seed {seed}"),
+            Ok(v) => {
+                failed = true;
+                eprintln!("  FAIL stress seed {seed}:");
+                for violation in &v {
+                    eprintln!("    {violation}");
+                }
+                match stress::shrink(&ops) {
+                    Ok(min) => eprintln!(
+                        "  minimal reproducer ({} ops):\n{}",
+                        min.len(),
+                        stress::script(&min)
+                    ),
+                    Err(e) => eprintln!("  shrinking failed: {e}"),
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("  FAIL stress seed {seed}: harness error {e}");
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("check FAILED");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("all checks passed");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Checks one workload under a virtualized scheme: guest setup in a
+/// fresh VM, run against the nested-baseline oracle, final sweep.
+fn check_virt_workload(
+    exp: &Experiment,
+    workload: &str,
+    seed: u64,
+    scheme: VirtScheme,
+) -> Result<(), String> {
+    let spec = params::workload_by_name(workload, exp.mem)
+        .ok_or_else(|| format!("unknown workload '{workload}'"))?;
+    let vm_bytes = (exp.mem * 4).max(1 << 30);
+    let (mut harness, mut wl) = VirtDiffHarness::new(
+        SystemConfig::isca2016(),
+        scheme,
+        CheckConfig::default(),
+        || {
+            let mut hv = Hypervisor::new(vm_bytes + (1 << 30));
+            let vm = hv.create_vm(vm_bytes, AllocPolicy::DemandPaging, false)?;
+            let gk = hv.guest_kernel_mut(vm)?;
+            let wl = spec.instantiate(gk, seed)?;
+            Ok((hv, vm, wl))
+        },
+    )
+    .map_err(|e| format!("virt setup failed: {e}"))?;
+    if exp.warm > 0 {
+        harness.warm_up(&mut wl, exp.warm);
+    }
+    harness.run(&mut wl, exp.refs);
+    let violations = harness.finish();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; "))
+    }
 }
 
 fn split_list(s: &str) -> Vec<String> {

@@ -24,6 +24,7 @@
 //! | [`virt`] | hypervisor and nested (2D) translation |
 //! | [`core`] | translation schemes, system simulator, energy model |
 //! | [`workloads`] | synthetic application trace generators |
+//! | [`check`] | differential oracle + invariant checking |
 //! | [`runner`] | parallel experiment sweeps + JSON reports |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@
 //! ```
 
 pub use hvc_cache as cache;
+pub use hvc_check as check;
 pub use hvc_core as core;
 pub use hvc_filter as filter;
 pub use hvc_mem as mem;

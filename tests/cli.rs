@@ -210,7 +210,7 @@ fn sweep_reports_every_cell_and_is_jobs_invariant() {
         .expect("report parses as JSON");
     assert_eq!(
         doc.get("schema").unwrap().as_str(),
-        Some("hvc-sweep-report/2")
+        Some("hvc-sweep-report/3")
     );
     let cells = doc.get("cells").unwrap().as_array().unwrap();
     assert_eq!(cells.len(), 2, "one cell per scheme");
@@ -230,4 +230,41 @@ fn sweep_reports_every_cell_and_is_jobs_invariant() {
         serial_doc.get("cells").unwrap().to_pretty()
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_subcommand_passes_on_a_bounded_run() {
+    let out = hvcsim()
+        .args([
+            "check",
+            "--preset",
+            "smoke",
+            "--refs",
+            "1000",
+            "--warm",
+            "200",
+            "--seed-range",
+            "0..1",
+            "--stress-ops",
+            "80",
+            "--native-only",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("all checks passed"), "stderr: {text}");
+}
+
+#[test]
+fn check_subcommand_rejects_bad_seed_range() {
+    let out = hvcsim()
+        .args(["check", "--seed-range", "five..six"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
 }
