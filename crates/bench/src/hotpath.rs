@@ -1,0 +1,227 @@
+//! The simulator-throughput benchmark behind `hvcsim bench`.
+//!
+//! Unlike the figure/table benches (which reproduce the *paper's*
+//! numbers), this harness measures the *simulator itself*: simulated
+//! references per wall-clock second over a fixed workload × scheme
+//! matrix, written as a `hvc-bench/1` JSON document so the perf
+//! trajectory of the hot path can be tracked across commits.
+//!
+//! # Schema `hvc-bench/1`
+//!
+//! ```text
+//! {
+//!   "schema": "hvc-bench/1",
+//!   "simulator": { "name": "hvc", "version": "<crate version>" },
+//!   "refs": <measured references per case>,
+//!   "warm": <unmeasured warm-up references per case>,
+//!   "mem": <workload memory bytes>,
+//!   "seed": <workload RNG seed>,
+//!   "cases": [
+//!     { "workload", "scheme", "refs", "wall_ms" (float),
+//!       "refs_per_sec" (float) }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! Keys are stable; `wall_ms` and `refs_per_sec` are the only fields
+//! that vary between invocations (they measure the host, not the
+//! simulation). Every case runs on a fresh kernel with the same seed,
+//! and only the measured slice is timed — workload setup and warm-up
+//! stay outside the clock.
+
+use hvc_core::SystemSim;
+use hvc_os::Kernel;
+use hvc_runner::json::Value;
+use hvc_runner::params;
+use std::time::Instant;
+
+/// The schema identifier written into every bench report.
+pub const SCHEMA: &str = "hvc-bench/1";
+
+/// The fixed workload × scheme matrix: the private-page hot loop under
+/// every translation scheme, plus a synonym-heavy workload on the
+/// hybrid path (filter candidates + synonym TLB traffic).
+pub const MATRIX: &[(&str, &str)] = &[
+    ("gups", "baseline"),
+    ("gups", "ideal"),
+    ("gups", "dtlb:1024"),
+    ("gups", "manyseg"),
+    ("gups", "enigma:1024"),
+    ("postgres", "dtlb:1024"),
+];
+
+/// One measured matrix point.
+#[derive(Clone, Debug)]
+pub struct BenchCase {
+    /// Workload profile name.
+    pub workload: String,
+    /// Scheme string (as accepted by `params::parse_scheme`).
+    pub scheme: String,
+    /// Measured references.
+    pub refs: u64,
+    /// Wall-clock of the measured slice, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated references per wall-clock second.
+    pub refs_per_sec: f64,
+}
+
+/// Knobs of a bench run (fixed matrix, adjustable sizes).
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Measured references per case.
+    pub refs: usize,
+    /// Unmeasured warm-up references per case.
+    pub warm: usize,
+    /// Workload memory (gups table size).
+    pub mem: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            refs: crate::refs_per_run(1_000_000),
+            warm: 250_000,
+            mem: 512 << 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs the whole [`MATRIX`] and returns one result per case, in matrix
+/// order.
+///
+/// # Panics
+///
+/// Panics if a matrix entry names an unknown workload or scheme (the
+/// matrix is fixed, so this is a programming error).
+pub fn run_matrix(config: &BenchConfig) -> Vec<BenchCase> {
+    MATRIX
+        .iter()
+        .map(|&(workload, scheme)| run_case(workload, scheme, config))
+        .collect()
+}
+
+/// Runs one `(workload, scheme)` case: fresh kernel, warm-up outside
+/// the clock, measured slice timed.
+fn run_case(workload: &str, scheme: &str, config: &BenchConfig) -> BenchCase {
+    let spec = params::workload_by_name(workload, config.mem)
+        .unwrap_or_else(|| panic!("unknown workload '{workload}'"));
+    let (ts, policy) =
+        params::parse_scheme(scheme).unwrap_or_else(|| panic!("unknown scheme '{scheme}'"));
+    let mut kernel = Kernel::new(crate::PHYS_BYTES, policy);
+    let mut wl = spec
+        .instantiate(&mut kernel, config.seed)
+        .unwrap_or_else(|e| panic!("instantiating {workload}: {e}"));
+    let mut sim = SystemSim::new(kernel, hvc_core::SystemConfig::isca2016(), ts);
+    if config.warm > 0 {
+        sim.warm_up(&mut wl, config.warm);
+    }
+    let start = Instant::now();
+    let report = sim.run(&mut wl, config.refs);
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64();
+    BenchCase {
+        workload: workload.to_string(),
+        scheme: scheme.to_string(),
+        refs: report.refs,
+        wall_ms: secs * 1e3,
+        refs_per_sec: if secs > 0.0 {
+            report.refs as f64 / secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Builds the `hvc-bench/1` JSON document for a finished run.
+pub fn bench_report(config: &BenchConfig, cases: &[BenchCase]) -> Value {
+    let object = |fields: Vec<(&str, Value)>| {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    object(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        (
+            "simulator",
+            object(vec![
+                ("name", Value::Str("hvc".into())),
+                ("version", Value::Str(env!("CARGO_PKG_VERSION").into())),
+            ]),
+        ),
+        ("refs", Value::UInt(config.refs as u64)),
+        ("warm", Value::UInt(config.warm as u64)),
+        ("mem", Value::UInt(config.mem)),
+        ("seed", Value::UInt(config.seed)),
+        (
+            "cases",
+            Value::Array(
+                cases
+                    .iter()
+                    .map(|c| {
+                        object(vec![
+                            ("workload", Value::Str(c.workload.clone())),
+                            ("scheme", Value::Str(c.scheme.clone())),
+                            ("refs", Value::UInt(c.refs)),
+                            ("wall_ms", Value::Float(c.wall_ms)),
+                            ("refs_per_sec", Value::Float(c.refs_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            refs: 2_000,
+            warm: 500,
+            mem: 8 << 20,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn matrix_runs_and_reports() {
+        let config = tiny();
+        let cases = run_matrix(&config);
+        assert_eq!(cases.len(), MATRIX.len());
+        for (c, &(w, s)) in cases.iter().zip(MATRIX) {
+            assert_eq!(c.workload, w);
+            assert_eq!(c.scheme, s);
+            assert_eq!(c.refs, 2_000);
+            assert!(c.refs_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_matches_schema_and_round_trips() {
+        let config = tiny();
+        let cases = vec![BenchCase {
+            workload: "gups".into(),
+            scheme: "dtlb:1024".into(),
+            refs: 2_000,
+            wall_ms: 1.5,
+            refs_per_sec: 1_333_333.0,
+        }];
+        let doc = bench_report(&config, &cases);
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let cases_json = doc.get("cases").unwrap().as_array().unwrap();
+        assert_eq!(cases_json.len(), 1);
+        for key in ["workload", "scheme", "refs", "wall_ms", "refs_per_sec"] {
+            assert!(cases_json[0].get(key).is_some(), "missing key {key}");
+        }
+        let text = doc.to_pretty();
+        assert_eq!(hvc_runner::json::parse(&text).unwrap(), doc);
+    }
+}

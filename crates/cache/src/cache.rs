@@ -14,37 +14,74 @@ pub struct Victim {
     pub dirty: bool,
 }
 
-/// One cached line. `sharers` is used only by the LLC level of a
-/// multi-core [`crate::Hierarchy`] to track which private caches hold the
-/// block (MESI-style directory-in-LLC).
+/// Per-line state other than the name. `sharers` is used only by the LLC
+/// level of a multi-core [`crate::Hierarchy`] to track which private
+/// caches hold the block (MESI-style directory-in-LLC).
 #[derive(Clone, Copy, Debug)]
-struct Line {
-    name: BlockName,
+struct Meta {
     dirty: bool,
     perm: Permissions,
     lru: u64,
     sharers: u32,
 }
 
+impl Meta {
+    /// Filler for slots whose valid bit is clear; never observed.
+    const EMPTY: Meta = Meta {
+        dirty: false,
+        perm: Permissions::NONE,
+        lru: 0,
+        sharers: 0,
+    };
+}
+
+/// Name filler for invalid slots; never observed.
+const EMPTY_NAME: BlockName = BlockName::Phys(hvc_types::LineAddr::new(0));
+
 /// A set-associative cache level keyed by the hybrid [`BlockName`].
 ///
 /// Indexing uses the low line-address bits (as hardware does); the ASID
 /// participates only in tag comparison, which is exactly the paper's tag
 /// extension (Figure 2): `ASID | PA/VA tag | S | permission`.
+///
+/// Storage is two contiguous slabs in structure-of-arrays form: set `s`
+/// occupies `names[s * ways .. (s + 1) * ways]` (the tag array a probe
+/// scans) and the same span of `meta` (LRU/dirty/permission state touched
+/// only on the way that hit), with a per-set occupancy bitmask selecting
+/// the live ways. A probe therefore streams just the 16-byte names of one
+/// set — not the full line records — before touching any metadata.
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// `sets * ways` block names; slots whose `valid` bit is clear hold
+    /// [`EMPTY_NAME`] filler.
+    names: Box<[BlockName]>,
+    /// Per-slot LRU/dirty/permission/sharer state, parallel to `names`.
+    meta: Box<[Meta]>,
+    /// One occupancy bitmask per set (bit `w` = way `w` live).
+    valid: Box<[u64]>,
+    ways: usize,
+    set_mask: usize,
     tick: u64,
     stats: LevelStats,
 }
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 64 ways (the per-set
+    /// occupancy bitmask is a `u64`).
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        assert!(config.ways <= 64, "at most 64 ways per set");
         Cache {
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            names: vec![EMPTY_NAME; sets * config.ways].into_boxed_slice(),
+            meta: vec![Meta::EMPTY; sets * config.ways].into_boxed_slice(),
+            valid: vec![0u64; sets].into_boxed_slice(),
+            ways: config.ways,
+            set_mask: sets - 1,
             config,
             tick: 0,
             stats: LevelStats::default(),
@@ -66,20 +103,37 @@ impl Cache {
         self.stats = LevelStats::default();
     }
 
+    #[inline]
     fn set_index(&self, name: BlockName) -> usize {
-        (name.line().as_u64() as usize) & (self.sets.len() - 1)
+        (name.line().as_u64() as usize) & self.set_mask
+    }
+
+    /// Finds the slab index of `name` within `set`, scanning only the
+    /// live ways of the occupancy bitmask.
+    #[inline]
+    fn find(&self, set: usize, name: BlockName) -> Option<usize> {
+        let base = set * self.ways;
+        let mut live = self.valid[set];
+        while live != 0 {
+            let slot = base + live.trailing_zeros() as usize;
+            if self.names[slot] == name {
+                return Some(slot);
+            }
+            live &= live - 1;
+        }
+        None
     }
 
     /// Looks up `name`; on a hit updates LRU and (for writes) the dirty
     /// bit, and returns `true`.
+    #[inline]
     pub fn access(&mut self, name: BlockName, write: bool) -> bool {
         self.tick += 1;
-        let tick = self.tick;
-        let idx = self.set_index(name);
-        let set = &mut self.sets[idx];
-        if let Some(line) = set.iter_mut().find(|l| l.name == name) {
-            line.lru = tick;
-            line.dirty |= write;
+        let set = self.set_index(name);
+        if let Some(slot) = self.find(set, name) {
+            let meta = &mut self.meta[slot];
+            meta.lru = self.tick;
+            meta.dirty |= write;
             self.stats.hits += 1;
             true
         } else {
@@ -88,19 +142,62 @@ impl Cache {
         }
     }
 
+    /// [`Cache::access`] returning the cached permissions on a hit — one
+    /// way-scan where an `access` + [`Cache::permissions`] pair would do
+    /// two.
+    #[inline]
+    pub fn access_perm(&mut self, name: BlockName, write: bool) -> Option<Permissions> {
+        self.tick += 1;
+        let set = self.set_index(name);
+        if let Some(slot) = self.find(set, name) {
+            let meta = &mut self.meta[slot];
+            meta.lru = self.tick;
+            meta.dirty |= write;
+            self.stats.hits += 1;
+            Some(meta.perm)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// [`Cache::access`] that additionally records `core` in the sharer
+    /// set and returns the cached permissions — the LLC hit path in one
+    /// way-scan instead of three (`access` + `permissions` +
+    /// [`Cache::add_sharer`]).
+    #[inline]
+    pub fn access_sharing(
+        &mut self,
+        name: BlockName,
+        write: bool,
+        core: usize,
+    ) -> Option<Permissions> {
+        self.tick += 1;
+        let set = self.set_index(name);
+        if let Some(slot) = self.find(set, name) {
+            let meta = &mut self.meta[slot];
+            meta.lru = self.tick;
+            meta.dirty |= write;
+            meta.sharers |= 1 << core;
+            self.stats.hits += 1;
+            Some(meta.perm)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
     /// Probes for `name` without updating LRU or statistics.
+    #[inline]
     pub fn contains(&self, name: BlockName) -> bool {
-        let idx = self.set_index(name);
-        self.sets[idx].iter().any(|l| l.name == name)
+        self.find(self.set_index(name), name).is_some()
     }
 
     /// Returns the permission bits cached with `name`, if present.
+    #[inline]
     pub fn permissions(&self, name: BlockName) -> Option<Permissions> {
-        let idx = self.set_index(name);
-        self.sets[idx]
-            .iter()
-            .find(|l| l.name == name)
-            .map(|l| l.perm)
+        self.find(self.set_index(name), name)
+            .map(|slot| self.meta[slot].perm)
     }
 
     /// Inserts `name` (filling after a miss); returns the victim if the
@@ -108,55 +205,153 @@ impl Cache {
     /// LRU/dirty state instead of duplicating it.
     pub fn fill(&mut self, name: BlockName, dirty: bool, perm: Permissions) -> Option<Victim> {
         self.tick += 1;
-        let tick = self.tick;
-        let ways = self.config.ways;
-        let idx = self.set_index(name);
-        let set = &mut self.sets[idx];
-        if let Some(line) = set.iter_mut().find(|l| l.name == name) {
-            line.lru = tick;
-            line.dirty |= dirty;
-            line.perm = perm;
+        let set = self.set_index(name);
+        if let Some(slot) = self.find(set, name) {
+            let meta = &mut self.meta[slot];
+            meta.lru = self.tick;
+            meta.dirty |= dirty;
+            meta.perm = perm;
             return None;
         }
+        self.insert_absent(set, name, dirty, perm, 0)
+            .map(|(v, _)| v)
+    }
+
+    /// Inserts `name` directly after a miss of the same name, skipping the
+    /// residency probe [`Cache::fill`] performs: the caller guarantees the
+    /// block is absent (it just missed this level and nothing filled it in
+    /// between), so the hierarchy does one way-scan per miss instead of
+    /// two.
+    pub fn fill_after_miss(
+        &mut self,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+    ) -> Option<Victim> {
+        self.tick += 1;
+        let set = self.set_index(name);
+        debug_assert!(
+            self.find(set, name).is_none(),
+            "fill_after_miss of a resident line"
+        );
+        self.insert_absent(set, name, dirty, perm, 0)
+            .map(|(v, _)| v)
+    }
+
+    /// Merges a private-cache victim into its (inclusive-resident) LLC
+    /// line and removes `core` from its sharer set — one way-scan for
+    /// what would otherwise be a [`Cache::fill`] + [`Cache::remove_sharer`]
+    /// pair. Falls back to a plain insert if the line is somehow absent,
+    /// exactly as the unfused pair would.
+    pub fn fill_unshare(
+        &mut self,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+        core: usize,
+    ) -> Option<Victim> {
+        self.tick += 1;
+        let set = self.set_index(name);
+        if let Some(slot) = self.find(set, name) {
+            let meta = &mut self.meta[slot];
+            meta.lru = self.tick;
+            meta.dirty |= dirty;
+            meta.perm = perm;
+            meta.sharers &= !(1 << core);
+            return None;
+        }
+        self.insert_absent(set, name, dirty, perm, 0)
+            .map(|(v, _)| v)
+    }
+
+    /// [`Cache::fill_after_miss`] for the directory-holding LLC: seeds the
+    /// new line's sharer set with `sharers` (saving the separate
+    /// `add_sharer` scan) and reports the evicted line's sharer bitmap, so
+    /// the hierarchy back-invalidates only private caches that actually
+    /// hold the victim.
+    pub fn fill_after_miss_tracked(
+        &mut self,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+        sharers: u32,
+    ) -> Option<(Victim, u32)> {
+        self.tick += 1;
+        let set = self.set_index(name);
+        debug_assert!(
+            self.find(set, name).is_none(),
+            "fill_after_miss of a resident line"
+        );
+        self.insert_absent(set, name, dirty, perm, sharers)
+    }
+
+    /// Places `name` into `set`, evicting the LRU way if the set is full.
+    /// LRU ticks are unique among live lines (every residency-granting or
+    /// refreshing operation stamps a fresh tick), so the minimum is unique
+    /// and victim choice does not depend on slot order. Returns the victim
+    /// together with its sharer bitmap.
+    fn insert_absent(
+        &mut self,
+        set: usize,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+        sharers: u32,
+    ) -> Option<(Victim, u32)> {
+        let base = set * self.ways;
+        let mask = self.valid[set];
         let mut victim = None;
-        if set.len() == ways {
-            let (slot, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .expect("non-empty set");
-            let old = set.swap_remove(slot);
+        let way = if mask.count_ones() as usize == self.ways {
+            let mut live = mask;
+            let mut best = 0usize;
+            let mut best_lru = u64::MAX;
+            while live != 0 {
+                let w = live.trailing_zeros() as usize;
+                let lru = self.meta[base + w].lru;
+                if lru < best_lru {
+                    best_lru = lru;
+                    best = w;
+                }
+                live &= live - 1;
+            }
+            let old_meta = self.meta[base + best];
             self.stats.evictions += 1;
-            if old.dirty {
+            if old_meta.dirty {
                 self.stats.writebacks += 1;
             }
-            victim = Some(Victim {
-                name: old.name,
-                dirty: old.dirty,
-            });
-        }
-        set.push(Line {
-            name,
+            victim = Some((
+                Victim {
+                    name: self.names[base + best],
+                    dirty: old_meta.dirty,
+                },
+                old_meta.sharers,
+            ));
+            best
+        } else {
+            (!mask).trailing_zeros() as usize
+        };
+        self.names[base + way] = name;
+        self.meta[base + way] = Meta {
             dirty,
             perm,
-            lru: tick,
-            sharers: 0,
-        });
+            lru: self.tick,
+            sharers,
+        };
+        self.valid[set] |= 1 << way;
         victim
     }
 
     /// Removes `name` if present, returning its victim record (dirty state
     /// preserved so the caller can write it back).
     pub fn invalidate(&mut self, name: BlockName) -> Option<Victim> {
-        let idx = self.set_index(name);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|l| l.name == name) {
-            let old = set.swap_remove(pos);
+        let set = self.set_index(name);
+        if let Some(slot) = self.find(set, name) {
+            let dirty = self.meta[slot].dirty;
+            self.names[slot] = EMPTY_NAME;
+            self.meta[slot] = Meta::EMPTY;
+            self.valid[set] &= !(1 << (slot - set * self.ways));
             self.stats.invalidations += 1;
-            Some(Victim {
-                name: old.name,
-                dirty: old.dirty,
-            })
+            Some(Victim { name, dirty })
         } else {
             None
         }
@@ -165,142 +360,156 @@ impl Cache {
     /// Marks `name` dirty if present, without touching LRU or statistics
     /// (coherence fold-in of a remote modified copy).
     pub fn mark_dirty(&mut self, name: BlockName) {
-        let idx = self.set_index(name);
-        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
-            line.dirty = true;
+        if let Some(slot) = self.find(self.set_index(name), name) {
+            self.meta[slot].dirty = true;
         }
     }
 
     /// Marks `name` clean (after a writeback) if present.
     pub fn clean(&mut self, name: BlockName) {
-        let idx = self.set_index(name);
-        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
-            line.dirty = false;
+        if let Some(slot) = self.find(self.set_index(name), name) {
+            self.meta[slot].dirty = false;
         }
     }
 
     /// Downgrades the cached permissions of every line of the given
     /// virtual page to read-only (the paper's content-sharing transition).
     pub fn downgrade_page_read_only(&mut self, asid: Asid, vpage: u64) {
-        self.retain_update(|l| {
-            if page_of(l.name) == Some((asid, vpage)) {
-                l.perm = l.perm.downgraded_read_only();
+        self.retain_update(|name, meta| {
+            if page_of(name) == Some((asid, vpage)) {
+                meta.perm = meta.perm.downgraded_read_only();
             }
             true
         });
     }
 
     /// Invalidates every line belonging to the virtual page `(asid,
-    /// vpage)`, returning dirty victims.
-    pub fn flush_virt_page(&mut self, asid: Asid, vpage: u64) -> Vec<Victim> {
-        let mut victims = Vec::new();
-        self.retain_update(|l| {
-            if page_of(l.name) == Some((asid, vpage)) {
-                if l.dirty {
-                    victims.push(Victim {
-                        name: l.name,
-                        dirty: true,
-                    });
+    /// vpage)`, appending dirty victims to `victims` (a reusable scratch
+    /// buffer the caller clears between flushes).
+    pub fn flush_virt_page(&mut self, asid: Asid, vpage: u64, victims: &mut Vec<Victim>) {
+        let before = victims.len();
+        self.retain_update(|name, meta| {
+            if page_of(name) == Some((asid, vpage)) {
+                if meta.dirty {
+                    victims.push(Victim { name, dirty: true });
                 }
                 false
             } else {
                 true
             }
         });
-        self.stats.invalidations += victims.len() as u64;
-        victims
+        self.stats.invalidations += (victims.len() - before) as u64;
     }
 
     /// Invalidates every physically-named line of the frame whose base
-    /// byte address is `frame_base`, returning dirty victims. The OS
-    /// requests this when a freed synonym frame goes back to the
+    /// byte address is `frame_base`, appending dirty victims to `victims`.
+    /// The OS requests this when a freed synonym frame goes back to the
     /// allocator — physically-tagged lines survive every per-space flush.
-    pub fn flush_phys_frame(&mut self, frame_base: u64) -> Vec<Victim> {
-        let mut victims = Vec::new();
-        self.retain_update(|l| {
-            let of_frame = matches!(l.name, BlockName::Phys(line)
+    pub fn flush_phys_frame(&mut self, frame_base: u64, victims: &mut Vec<Victim>) {
+        let before = victims.len();
+        self.retain_update(|name, meta| {
+            let of_frame = matches!(name, BlockName::Phys(line)
                 if line.base_raw() >> PAGE_SHIFT == frame_base >> PAGE_SHIFT);
             if of_frame {
-                if l.dirty {
-                    victims.push(Victim {
-                        name: l.name,
-                        dirty: true,
-                    });
+                if meta.dirty {
+                    victims.push(Victim { name, dirty: true });
                 }
                 false
             } else {
                 true
             }
         });
-        self.stats.invalidations += victims.len() as u64;
-        victims
+        self.stats.invalidations += (victims.len() - before) as u64;
     }
 
-    /// Invalidates every line of an address space (process teardown).
-    pub fn flush_asid(&mut self, asid: Asid) -> Vec<Victim> {
-        let mut victims = Vec::new();
-        self.retain_update(|l| {
-            if l.name.asid() == Some(asid) {
-                if l.dirty {
-                    victims.push(Victim {
-                        name: l.name,
-                        dirty: true,
-                    });
+    /// Invalidates every line of an address space (process teardown),
+    /// appending dirty victims to `victims`.
+    pub fn flush_asid(&mut self, asid: Asid, victims: &mut Vec<Victim>) {
+        self.retain_update(|name, meta| {
+            if name.asid() == Some(asid) {
+                if meta.dirty {
+                    victims.push(Victim { name, dirty: true });
                 }
                 false
             } else {
                 true
             }
         });
-        victims
     }
 
     /// Number of resident lines (for tests and occupancy reporting).
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// Iterates over resident block names (used by inclusion checks in
     /// tests).
     pub fn resident_names(&self) -> impl Iterator<Item = BlockName> + '_ {
-        self.sets.iter().flatten().map(|l| l.name)
+        self.valid.iter().enumerate().flat_map(move |(set, &mask)| {
+            let base = set * self.ways;
+            BitIter(mask).map(move |w| self.names[base + w])
+        })
     }
 
     // --- LLC sharer tracking (MESI-style directory-in-LLC) ---
 
     /// Adds `core` to the sharer set of `name` (LLC use only).
     pub fn add_sharer(&mut self, name: BlockName, core: usize) {
-        let idx = self.set_index(name);
-        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
-            line.sharers |= 1 << core;
+        if let Some(slot) = self.find(self.set_index(name), name) {
+            self.meta[slot].sharers |= 1 << core;
         }
     }
 
     /// Removes `core` from the sharer set of `name` (LLC use only).
     pub fn remove_sharer(&mut self, name: BlockName, core: usize) {
-        let idx = self.set_index(name);
-        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.name == name) {
-            line.sharers &= !(1 << core);
+        if let Some(slot) = self.find(self.set_index(name), name) {
+            self.meta[slot].sharers &= !(1 << core);
         }
     }
 
     /// Returns the sharer bitmap of `name` (LLC use only).
     pub fn sharers(&self, name: BlockName) -> u32 {
-        let idx = self.set_index(name);
-        self.sets[idx]
-            .iter()
-            .find(|l| l.name == name)
-            .map_or(0, |l| l.sharers)
+        self.find(self.set_index(name), name)
+            .map_or(0, |slot| self.meta[slot].sharers)
     }
 
-    fn retain_update(&mut self, mut f: impl FnMut(&mut Line) -> bool) {
-        for set in &mut self.sets {
-            set.retain_mut(|l| f(l));
+    /// Visits every live line in slot order; lines for which `f` returns
+    /// `false` are invalidated (their valid bit cleared).
+    fn retain_update(&mut self, mut f: impl FnMut(BlockName, &mut Meta) -> bool) {
+        for (set, mask) in self.valid.iter_mut().enumerate() {
+            let base = set * self.ways;
+            let mut live = *mask;
+            while live != 0 {
+                let w = live.trailing_zeros() as usize;
+                if !f(self.names[base + w], &mut self.meta[base + w]) {
+                    *mask &= !(1 << w);
+                    self.names[base + w] = EMPTY_NAME;
+                    self.meta[base + w] = Meta::EMPTY;
+                }
+                live &= live - 1;
+            }
         }
     }
 }
 
+/// Iterator over the set bit positions of a `u64` mask, low to high.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let w = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(w)
+    }
+}
+
 /// Returns the `(asid, virtual page number)` of a virtually-named block.
+#[inline]
 fn page_of(name: BlockName) -> Option<(Asid, u64)> {
     match name {
         BlockName::Virt(asid, line) => {
@@ -402,6 +611,54 @@ mod tests {
     }
 
     #[test]
+    fn fill_after_miss_inserts_and_evicts_like_fill() {
+        let mut c = tiny();
+        assert!(!c.access(v(1, 0), false));
+        assert!(c.fill_after_miss(v(1, 0), false, Permissions::RW).is_none());
+        assert!(c.access(v(1, 0), false));
+        assert!(!c.access(v(1, 2), false));
+        c.fill_after_miss(v(1, 2), true, Permissions::RW);
+        assert!(!c.access(v(1, 4), false));
+        let victim = c.fill_after_miss(v(1, 4), false, Permissions::RW).unwrap();
+        // Line 0's last touch predates line 2's fill, so 0 is the victim.
+        assert_eq!(victim.name, v(1, 0));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn access_perm_reports_hit_permissions() {
+        let mut c = tiny();
+        c.fill(v(1, 0), false, Permissions::READ);
+        assert_eq!(c.access_perm(v(1, 0), false), Some(Permissions::READ));
+        assert_eq!(c.access_perm(v(1, 2), false), None);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn access_sharing_records_core_and_returns_perm() {
+        let mut c = tiny();
+        c.fill(p(0), false, Permissions::RW);
+        assert_eq!(c.access_sharing(p(0), true, 2), Some(Permissions::RW));
+        assert_eq!(c.sharers(p(0)), 0b100);
+        assert!(c.invalidate(p(0)).unwrap().dirty, "write set the dirty bit");
+        assert_eq!(c.access_sharing(p(0), false, 0), None, "gone after inval");
+    }
+
+    #[test]
+    fn tracked_fill_seeds_sharers_and_reports_victim_sharers() {
+        let mut c = tiny();
+        let (_, vs) = {
+            c.fill_after_miss_tracked(v(1, 0), false, Permissions::RW, 0b01);
+            c.fill_after_miss_tracked(v(1, 2), false, Permissions::RW, 0b10);
+            c.fill_after_miss_tracked(v(1, 4), false, Permissions::RW, 0)
+                .expect("set 0 full, LRU victim evicted")
+        };
+        assert_eq!(vs, 0b01, "victim v(1,0) carried its seeded sharer set");
+        assert_eq!(c.sharers(v(1, 2)), 0b10);
+    }
+
+    #[test]
     fn asid_distinguishes_same_line() {
         let mut c = tiny();
         c.fill(v(1, 0), false, Permissions::RW);
@@ -426,7 +683,8 @@ mod tests {
         c.fill(p(5), true, Permissions::RW);
         c.fill(p(64), false, Permissions::RW);
         c.fill(v(1, 0), false, Permissions::RW);
-        let victims = c.flush_phys_frame(0);
+        let mut victims = Vec::new();
+        c.flush_phys_frame(0, &mut victims);
         assert_eq!(victims.len(), 1, "one dirty line in the frame");
         assert_eq!(victims[0].name, p(5));
         assert!(!c.contains(p(0)) && !c.contains(p(5)));
@@ -442,7 +700,8 @@ mod tests {
             c.fill(name, false, Permissions::RW);
         }
         c.access(v(1, 5), true); // dirty one line
-        let victims = c.flush_virt_page(Asid::new(1), 0);
+        let mut victims = Vec::new();
+        c.flush_virt_page(Asid::new(1), 0, &mut victims);
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].name, v(1, 5));
         assert_eq!(c.occupancy(), 0);
@@ -454,11 +713,23 @@ mod tests {
         c.fill(v(1, 0), true, Permissions::RW);
         c.fill(v(2, 1), false, Permissions::RW);
         c.fill(p(3), false, Permissions::RW);
-        let victims = c.flush_asid(Asid::new(1));
+        let mut victims = Vec::new();
+        c.flush_asid(Asid::new(1), &mut victims);
         assert_eq!(victims.len(), 1);
         assert!(!c.contains(v(1, 0)));
         assert!(c.contains(v(2, 1)));
         assert!(c.contains(p(3)));
+    }
+
+    #[test]
+    fn flush_scratch_buffer_appends_across_calls() {
+        let mut c = tiny();
+        c.fill(v(1, 0), true, Permissions::RW);
+        c.fill(v(2, 1), true, Permissions::RW);
+        let mut victims = Vec::new();
+        c.flush_asid(Asid::new(1), &mut victims);
+        c.flush_asid(Asid::new(2), &mut victims);
+        assert_eq!(victims.len(), 2, "flushes append, callers clear");
     }
 
     #[test]

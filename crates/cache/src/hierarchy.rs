@@ -43,6 +43,14 @@ pub struct Hierarchy {
     coherence_invalidations: u64,
     memory_writebacks: u64,
     lookup_latency: LatencyHistogram,
+    /// Reusable victim buffer for page/frame/space flushes, so shootdowns
+    /// allocate nothing on the steady state.
+    scratch: Vec<Victim>,
+    /// `true` once any line was ever filled with (or downgraded to)
+    /// non-writable permissions. While `false`, the front-end's r/o write
+    /// check can skip its hierarchy-wide permission probe: no cached line
+    /// can fault it. Monotone, so skipping is observationally neutral.
+    may_cache_readonly: bool,
 }
 
 impl Hierarchy {
@@ -63,7 +71,16 @@ impl Hierarchy {
             coherence_invalidations: 0,
             memory_writebacks: 0,
             lookup_latency: LatencyHistogram::default(),
+            scratch: Vec::new(),
+            may_cache_readonly: false,
         }
+    }
+
+    /// `true` if some line anywhere may carry non-writable permissions —
+    /// the cue for the front-end to run its cached r/o write check.
+    #[inline]
+    pub fn may_hold_readonly(&self) -> bool {
+        self.may_cache_readonly
     }
 
     /// Returns the configuration.
@@ -101,6 +118,7 @@ impl Hierarchy {
         perm: Permissions,
     ) -> AccessResult {
         assert!(core < self.config.cores, "core {core} out of range");
+        self.may_cache_readonly |= !perm.is_writable();
         let write = kind.is_write();
         // MESI upgrade: any write must remove other cores' copies, even if
         // the writer hits its own (Shared-state) L1 copy.
@@ -138,11 +156,10 @@ impl Hierarchy {
             };
         }
 
-        // LLC.
+        // LLC (one scan: hit bookkeeping + sharer registration fused).
         latency += self.config.llc.latency;
-        if self.llc.access(name, write) {
+        if self.llc.access_sharing(name, write, core).is_some() {
             self.fill_private(core, kind, name, write, perm);
-            self.llc.add_sharer(name, core);
             return AccessResult {
                 hit_level: Some(2),
                 latency,
@@ -197,9 +214,9 @@ impl Hierarchy {
             };
         }
         latency += self.config.l2.latency;
-        if self.l2[core].access(name, write) {
-            // Promote with the permissions already cached at L2.
-            let perm = self.l2[core].permissions(name).unwrap_or(Permissions::RW);
+        // Promote with the permissions already cached at L2 (read out by
+        // the same scan that services the hit).
+        if let Some(perm) = self.l2[core].access_perm(name, write) {
             self.fill_l1(core, kind, name, write, perm);
             return AccessResult {
                 hit_level: Some(1),
@@ -208,10 +225,8 @@ impl Hierarchy {
             };
         }
         latency += self.config.llc.latency;
-        if self.llc.access(name, write) {
-            let perm = self.llc.permissions(name).unwrap_or(Permissions::RW);
+        if let Some(perm) = self.llc.access_sharing(name, write, core) {
             self.fill_private(core, kind, name, write, perm);
-            self.llc.add_sharer(name, core);
             return AccessResult {
                 hit_level: Some(2),
                 latency,
@@ -236,9 +251,9 @@ impl Hierarchy {
         dirty: bool,
         perm: Permissions,
     ) -> Option<Victim> {
-        let victim = self.fill_llc(name, dirty, perm);
+        self.may_cache_readonly |= !perm.is_writable();
+        let victim = self.fill_llc(core, name, dirty, perm);
         self.fill_private(core, kind, name, dirty, perm);
-        self.llc.add_sharer(name, core);
         victim
     }
 
@@ -278,11 +293,14 @@ impl Hierarchy {
     /// returns the number of dirty lines written back to memory. Used by
     /// the OS for unmap / remap / synonym-status transitions.
     pub fn flush_virt_page(&mut self, asid: Asid, vpage: u64) -> u64 {
-        let mut dirty = 0u64;
+        let mut victims = std::mem::take(&mut self.scratch);
+        victims.clear();
         for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
-            dirty += c.flush_virt_page(asid, vpage).len() as u64;
+            c.flush_virt_page(asid, vpage, &mut victims);
         }
-        dirty += self.llc.flush_virt_page(asid, vpage).len() as u64;
+        self.llc.flush_virt_page(asid, vpage, &mut victims);
+        let dirty = victims.len() as u64;
+        self.scratch = victims;
         self.memory_writebacks += dirty;
         dirty
     }
@@ -291,11 +309,14 @@ impl Hierarchy {
     /// hierarchy-wide; returns the number of dirty lines written back.
     /// Used by the OS when a synonym page's frame is freed for reuse.
     pub fn flush_phys_frame(&mut self, frame_base: u64) -> u64 {
-        let mut dirty = 0u64;
+        let mut victims = std::mem::take(&mut self.scratch);
+        victims.clear();
         for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
-            dirty += c.flush_phys_frame(frame_base).len() as u64;
+            c.flush_phys_frame(frame_base, &mut victims);
         }
-        dirty += self.llc.flush_phys_frame(frame_base).len() as u64;
+        self.llc.flush_phys_frame(frame_base, &mut victims);
+        let dirty = victims.len() as u64;
+        self.scratch = victims;
         self.memory_writebacks += dirty;
         dirty
     }
@@ -303,6 +324,7 @@ impl Hierarchy {
     /// Downgrades cached permissions of a virtual page to read-only in
     /// every level (content-based-sharing transition; no flush needed).
     pub fn downgrade_page_read_only(&mut self, asid: Asid, vpage: u64) {
+        self.may_cache_readonly = true;
         for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
             c.downgrade_page_read_only(asid, vpage);
         }
@@ -311,11 +333,16 @@ impl Hierarchy {
 
     /// Flushes every line of an address space (process exit).
     pub fn flush_asid(&mut self, asid: Asid) -> u64 {
-        let mut dirty = 0u64;
+        let mut victims = std::mem::take(&mut self.scratch);
+        victims.clear();
         for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
-            dirty += c.flush_asid(asid).iter().filter(|v| v.dirty).count() as u64;
+            c.flush_asid(asid, &mut victims);
         }
-        dirty += self.llc.flush_asid(asid).iter().filter(|v| v.dirty).count() as u64;
+        self.llc.flush_asid(asid, &mut victims);
+        // Every appended victim is dirty by the `Cache::flush_asid`
+        // contract, so the buffer length is the writeback count.
+        let dirty = victims.len() as u64;
+        self.scratch = victims;
         self.memory_writebacks += dirty;
         dirty
     }
@@ -360,9 +387,11 @@ impl Hierarchy {
         } else {
             &mut self.l1d[core]
         };
-        if let Some(v) = l1.fill(name, dirty, perm) {
+        // The caller just missed `name` in this L1, so skip the residency
+        // probe; the displaced victim's write-back uses the plain `fill`
+        // because the line *is* resident in the inclusive L2.
+        if let Some(v) = l1.fill_after_miss(name, dirty, perm) {
             if v.dirty {
-                // Write-back into L2 (inclusive: the line is resident there).
                 self.l2[core].fill(v.name, true, perm);
             }
         }
@@ -376,26 +405,42 @@ impl Hierarchy {
         dirty: bool,
         perm: Permissions,
     ) {
-        if let Some(v) = self.l2[core].fill(name, dirty, perm) {
+        if let Some(v) = self.l2[core].fill_after_miss(name, dirty, perm) {
             // L2 victim: its dirty state merges into the (inclusive) LLC;
             // also evict from L1s to keep L2⊇L1 inclusion simple.
             self.evict_from_l1s(core, v.name);
             if v.dirty {
-                self.llc.fill(v.name, true, perm);
+                self.llc.fill_unshare(v.name, true, perm, core);
+            } else {
+                self.llc.remove_sharer(v.name, core);
             }
-            self.llc.remove_sharer(v.name, core);
         }
         self.fill_l1(core, kind, name, dirty, perm);
     }
 
-    fn fill_llc(&mut self, name: BlockName, dirty: bool, perm: Permissions) -> Option<Victim> {
-        let victim = self.llc.fill(name, dirty, perm)?;
-        // Inclusive LLC: back-invalidate the victim from every private
-        // cache; any dirty private copy makes the victim dirty.
+    fn fill_llc(
+        &mut self,
+        core: usize,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+    ) -> Option<Victim> {
+        // The new line's sharer set is seeded with the filling core, so no
+        // separate `add_sharer` scan is needed after the private fills.
+        let (victim, sharers) = self
+            .llc
+            .fill_after_miss_tracked(name, dirty, perm, 1 << core)?;
+        // Inclusive LLC: back-invalidate the victim from the private
+        // caches that hold it (the directory's sharer bits are exact —
+        // every private fill sets them, every private eviction clears
+        // them); any dirty private copy makes the victim dirty.
         let mut dirty_above = false;
-        for core in 0..self.config.cores {
-            dirty_above |= self.evict_from_l1s(core, victim.name);
-            if let Some(v) = self.l2[core].invalidate(victim.name) {
+        let mut holders = sharers;
+        while holders != 0 {
+            let c = holders.trailing_zeros() as usize;
+            holders &= holders - 1;
+            dirty_above |= self.evict_from_l1s(c, victim.name);
+            if let Some(v) = self.l2[c].invalidate(victim.name) {
                 dirty_above |= v.dirty;
             }
         }

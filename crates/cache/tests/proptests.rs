@@ -1,7 +1,11 @@
-//! Property tests for the cache hierarchy invariants.
+//! Property tests for the cache hierarchy invariants, including a
+//! differential check of the flat slab storage against a naive
+//! `Vec<Vec<_>>` reference model.
 
-use hvc_cache::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
-use hvc_types::{AccessKind, Asid, BlockName, Cycles, LineAddr};
+use hvc_cache::{Cache, CacheConfig, Hierarchy, HierarchyConfig, Victim};
+use hvc_types::{
+    AccessKind, Asid, BlockName, Cycles, LineAddr, Permissions, LINE_SHIFT, PAGE_SHIFT,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -84,5 +88,343 @@ proptest! {
         h.access(0, name, AccessKind::Write);
         let r = h.access(1, name, AccessKind::Read);
         prop_assert!(r.hit_level >= Some(2), "remote copy must be invalidated, got {:?}", r.hit_level);
+    }
+}
+
+// --- Differential model: flat slab storage vs. naive Vec<Vec<_>> ---
+
+/// One line of the reference model, mirroring the real per-line state.
+#[derive(Clone, Debug)]
+struct RefLine {
+    name: BlockName,
+    dirty: bool,
+    perm: Permissions,
+    lru: u64,
+    sharers: u32,
+}
+
+/// The naive seed-era storage the flat slab replaced: one `Vec` per set,
+/// linear probes, LRU victim by minimum tick. Semantics are written from
+/// the documented `Cache` contract, not its implementation.
+struct RefCache {
+    sets: Vec<Vec<RefLine>>,
+    ways: usize,
+    set_mask: usize,
+    tick: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+            set_mask: sets - 1,
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, name: BlockName) -> usize {
+        (name.line().as_u64() as usize) & self.set_mask
+    }
+
+    fn find(&mut self, name: BlockName) -> Option<&mut RefLine> {
+        let set = self.set_of(name);
+        self.sets[set].iter_mut().find(|l| l.name == name)
+    }
+
+    fn access(&mut self, name: BlockName, write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.find(name) {
+            Some(line) => {
+                line.lru = tick;
+                line.dirty |= write;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn access_perm(&mut self, name: BlockName, write: bool) -> Option<Permissions> {
+        let hit = self.access(name, write);
+        hit.then(|| self.find(name).unwrap().perm)
+    }
+
+    fn access_sharing(&mut self, name: BlockName, write: bool, core: usize) -> Option<Permissions> {
+        let perm = self.access_perm(name, write);
+        if perm.is_some() {
+            self.find(name).unwrap().sharers |= 1 << core;
+        }
+        perm
+    }
+
+    fn fill(&mut self, name: BlockName, dirty: bool, perm: Permissions) -> Option<Victim> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(line) = self.find(name) {
+            line.lru = tick;
+            line.dirty |= dirty;
+            line.perm = perm;
+            return None;
+        }
+        let set = self.set_of(name);
+        let ways = self.ways;
+        let lines = &mut self.sets[set];
+        let victim = (lines.len() == ways).then(|| {
+            let at = (0..lines.len())
+                .min_by_key(|&i| lines[i].lru)
+                .expect("full set");
+            let v = lines.remove(at);
+            Victim {
+                name: v.name,
+                dirty: v.dirty,
+            }
+        });
+        lines.push(RefLine {
+            name,
+            dirty,
+            perm,
+            lru: tick,
+            sharers: 0,
+        });
+        victim
+    }
+
+    fn fill_unshare(
+        &mut self,
+        name: BlockName,
+        dirty: bool,
+        perm: Permissions,
+        core: usize,
+    ) -> Option<Victim> {
+        let resident = self.find(name).is_some();
+        let victim = self.fill(name, dirty, perm);
+        if resident {
+            self.find(name).unwrap().sharers &= !(1 << core);
+        }
+        victim
+    }
+
+    fn invalidate(&mut self, name: BlockName) -> Option<Victim> {
+        let set = self.set_of(name);
+        let at = self.sets[set].iter().position(|l| l.name == name)?;
+        let line = self.sets[set].remove(at);
+        Some(Victim {
+            name: line.name,
+            dirty: line.dirty,
+        })
+    }
+
+    fn set_sharer(&mut self, name: BlockName, core: usize, present: bool) {
+        if let Some(line) = self.find(name) {
+            if present {
+                line.sharers |= 1 << core;
+            } else {
+                line.sharers &= !(1 << core);
+            }
+        }
+    }
+
+    /// Removes every line matching `f`, returning the dirty ones.
+    fn flush_matching(&mut self, f: impl Fn(BlockName) -> bool) -> Vec<Victim> {
+        let mut victims = Vec::new();
+        for lines in &mut self.sets {
+            lines.retain(|l| {
+                if f(l.name) {
+                    if l.dirty {
+                        victims.push(Victim {
+                            name: l.name,
+                            dirty: true,
+                        });
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        victims
+    }
+
+    fn downgrade_page(&mut self, asid: Asid, vpage: u64) {
+        for lines in &mut self.sets {
+            for l in lines.iter_mut() {
+                if ref_page_of(l.name) == Some((asid, vpage)) {
+                    l.perm = l.perm.downgraded_read_only();
+                }
+            }
+        }
+    }
+
+    fn resident(&self) -> Vec<BlockName> {
+        let mut names: Vec<_> = self.sets.iter().flatten().map(|l| l.name).collect();
+        names.sort_by_key(|n| name_key(*n));
+        names
+    }
+}
+
+fn ref_page_of(name: BlockName) -> Option<(Asid, u64)> {
+    match name {
+        BlockName::Virt(asid, line) => Some((asid, line.as_u64() >> (PAGE_SHIFT - LINE_SHIFT))),
+        BlockName::Phys(_) => None,
+    }
+}
+
+/// Total order on names for comparing victim sets (flush order is a slot
+/// -layout artifact neither model pins down).
+fn name_key(name: BlockName) -> (u8, u16, u64) {
+    match name {
+        BlockName::Phys(line) => (0, 0, line.as_u64()),
+        BlockName::Virt(asid, line) => (1, asid.as_u16(), line.as_u64()),
+    }
+}
+
+fn sorted_victims(mut v: Vec<Victim>) -> Vec<Victim> {
+    v.sort_by_key(|v| name_key(v.name));
+    v
+}
+
+/// The operation alphabet of the differential test — every hot-path
+/// entry point of `Cache` plus the flush/maintenance surface.
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Access(BlockName, bool),
+    AccessPerm(BlockName, bool),
+    AccessSharing(BlockName, bool, usize),
+    Fill(BlockName, bool, Permissions),
+    FillUnshare(BlockName, bool, Permissions, usize),
+    Invalidate(BlockName),
+    AddSharer(BlockName, usize),
+    RemoveSharer(BlockName, usize),
+    FlushPage(u16, u64),
+    FlushFrame(u64),
+    FlushAsid(u16),
+    DowngradePage(u16, u64),
+}
+
+fn model_name() -> impl Strategy<Value = BlockName> {
+    prop_oneof![
+        (1u16..3, 0u64..128).prop_map(|(a, l)| BlockName::Virt(Asid::new(a), LineAddr::new(l))),
+        (0u64..128).prop_map(|l| BlockName::Phys(LineAddr::new(l))),
+    ]
+}
+
+fn perm_strategy() -> impl Strategy<Value = Permissions> {
+    prop_oneof![Just(Permissions::RW), Just(Permissions::READ)]
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (model_name(), any::<bool>()).prop_map(|(n, w)| CacheOp::Access(n, w)),
+        (model_name(), any::<bool>()).prop_map(|(n, w)| CacheOp::AccessPerm(n, w)),
+        (model_name(), any::<bool>(), 0usize..4)
+            .prop_map(|(n, w, c)| CacheOp::AccessSharing(n, w, c)),
+        (model_name(), any::<bool>(), perm_strategy()).prop_map(|(n, d, p)| CacheOp::Fill(n, d, p)),
+        (model_name(), any::<bool>(), perm_strategy(), 0usize..4)
+            .prop_map(|(n, d, p, c)| CacheOp::FillUnshare(n, d, p, c)),
+        model_name().prop_map(CacheOp::Invalidate),
+        (model_name(), 0usize..4).prop_map(|(n, c)| CacheOp::AddSharer(n, c)),
+        (model_name(), 0usize..4).prop_map(|(n, c)| CacheOp::RemoveSharer(n, c)),
+        (1u16..3, 0u64..2).prop_map(|(a, p)| CacheOp::FlushPage(a, p)),
+        (0u64..2).prop_map(|f| CacheOp::FlushFrame(f << PAGE_SHIFT)),
+        (1u16..3).prop_map(CacheOp::FlushAsid),
+        (1u16..3, 0u64..2).prop_map(|(a, p)| CacheOp::DowngradePage(a, p)),
+    ]
+}
+
+proptest! {
+    /// The flat slab `Cache` is observationally equal to the naive
+    /// per-set-`Vec` model under arbitrary interleavings: identical
+    /// hit/miss results, identical LRU victim choice, identical dirty
+    /// bits, permissions, sharer bitmaps and flush victim sets.
+    #[test]
+    fn flat_cache_matches_naive_model(
+        ops in prop::collection::vec(cache_op(), 1..300),
+    ) {
+        // 8 sets × 2 ways over a 128-line name space: plenty of
+        // evictions, set conflicts and cross-ASID aliasing.
+        let mut flat = Cache::new(CacheConfig::new(8 * 2 * 64, 2, Cycles::new(1)));
+        let mut model = RefCache::new(8, 2);
+        let mut scratch = Vec::new();
+        for op in ops {
+            match op {
+                CacheOp::Access(n, w) => {
+                    prop_assert_eq!(flat.access(n, w), model.access(n, w), "access {:?}", n);
+                }
+                CacheOp::AccessPerm(n, w) => {
+                    prop_assert_eq!(flat.access_perm(n, w), model.access_perm(n, w));
+                }
+                CacheOp::AccessSharing(n, w, c) => {
+                    prop_assert_eq!(
+                        flat.access_sharing(n, w, c),
+                        model.access_sharing(n, w, c)
+                    );
+                }
+                CacheOp::Fill(n, d, p) => {
+                    prop_assert_eq!(flat.fill(n, d, p), model.fill(n, d, p), "fill {:?}", n);
+                }
+                CacheOp::FillUnshare(n, d, p, c) => {
+                    prop_assert_eq!(
+                        flat.fill_unshare(n, d, p, c),
+                        model.fill_unshare(n, d, p, c)
+                    );
+                }
+                CacheOp::Invalidate(n) => {
+                    prop_assert_eq!(flat.invalidate(n), model.invalidate(n));
+                }
+                CacheOp::AddSharer(n, c) => {
+                    flat.add_sharer(n, c);
+                    model.set_sharer(n, c, true);
+                }
+                CacheOp::RemoveSharer(n, c) => {
+                    flat.remove_sharer(n, c);
+                    model.set_sharer(n, c, false);
+                }
+                CacheOp::FlushPage(a, p) => {
+                    scratch.clear();
+                    flat.flush_virt_page(Asid::new(a), p, &mut scratch);
+                    let expect = model.flush_matching(|n| ref_page_of(n) == Some((Asid::new(a), p)));
+                    prop_assert_eq!(
+                        sorted_victims(scratch.clone()),
+                        sorted_victims(expect)
+                    );
+                }
+                CacheOp::FlushFrame(base) => {
+                    scratch.clear();
+                    flat.flush_phys_frame(base, &mut scratch);
+                    let expect = model.flush_matching(|n| matches!(n, BlockName::Phys(line)
+                        if line.base_raw() >> PAGE_SHIFT == base >> PAGE_SHIFT));
+                    prop_assert_eq!(
+                        sorted_victims(scratch.clone()),
+                        sorted_victims(expect)
+                    );
+                }
+                CacheOp::FlushAsid(a) => {
+                    scratch.clear();
+                    flat.flush_asid(Asid::new(a), &mut scratch);
+                    let expect = model.flush_matching(|n| n.asid() == Some(Asid::new(a)));
+                    prop_assert_eq!(
+                        sorted_victims(scratch.clone()),
+                        sorted_victims(expect)
+                    );
+                }
+                CacheOp::DowngradePage(a, p) => {
+                    flat.downgrade_page_read_only(Asid::new(a), p);
+                    model.downgrade_page(Asid::new(a), p);
+                }
+            }
+        }
+        // End-of-run audit: identical resident sets and per-line state.
+        let mut flat_names: Vec<_> = flat.resident_names().collect();
+        flat_names.sort_by_key(|n| name_key(*n));
+        prop_assert_eq!(&flat_names, &model.resident(), "resident sets differ");
+        prop_assert_eq!(flat.occupancy(), flat_names.len());
+        for &n in &flat_names {
+            let line = model.find(n).expect("model agrees on residency");
+            prop_assert_eq!(flat.permissions(n), Some(line.perm));
+            prop_assert_eq!(flat.sharers(n), line.sharers, "sharers of {:?}", n);
+            // `invalidate` is the only way to observe the dirty bit.
+            prop_assert_eq!(flat.invalidate(n).unwrap().dirty, line.dirty);
+        }
     }
 }

@@ -14,7 +14,6 @@ use hvc_types::{
     VirtAddr,
 };
 use hvc_workloads::WorkloadInstance;
-use std::collections::HashMap;
 
 /// The full-system, trace-driven simulator for native execution.
 ///
@@ -35,11 +34,15 @@ pub struct SystemSim {
     syn_tlb: Vec<Tlb>,
     delayed_tlb: Tlb,
     many: Option<ManySegmentTranslator>,
-    /// Address-space → core placement (round-robin on first sight).
-    placement: HashMap<u16, usize>,
+    /// Address-space → core placement, indexed by raw ASID (round-robin
+    /// on first sight; `usize::MAX` marks an unplaced space).
+    placement: Vec<usize>,
+    /// Number of address spaces placed so far (drives the round-robin).
+    placed: usize,
     /// Per-ASID instruction-fetch cursor within the synthetic code
-    /// region (when `model_ifetch` is on).
-    fetch_cursor: HashMap<u16, u64>,
+    /// region (when `model_ifetch` is on), indexed by raw ASID;
+    /// `u64::MAX` marks a space whose text region is not yet mapped.
+    fetch_cursor: Vec<u64>,
     /// Last ASID that ran on each core (context-switch detection: a
     /// switch reloads the synonym-filter registers from memory).
     last_asid: Vec<Option<Asid>>,
@@ -91,8 +94,9 @@ impl SystemSim {
                 .collect(),
             delayed_tlb: Tlb::new(hvc_tlb::TlbConfig::delayed(delayed_entries)),
             many,
-            placement: HashMap::new(),
-            fetch_cursor: HashMap::new(),
+            placement: Vec::new(),
+            placed: 0,
+            fetch_cursor: Vec::new(),
             last_asid: vec![None; cores],
             tracer: (config.trace_capacity > 0).then(|| EventTracer::new(config.trace_capacity)),
             kernel,
@@ -108,9 +112,20 @@ impl SystemSim {
 
     /// The core an address space runs on (round-robin placement on first
     /// appearance — a multiprogrammed schedule).
+    #[inline]
     fn core_of(&mut self, asid: Asid) -> usize {
-        let next = self.placement.len() % self.config.hierarchy.cores;
-        *self.placement.entry(asid.as_u16()).or_insert(next)
+        let idx = asid.as_u16() as usize;
+        if let Some(&core) = self.placement.get(idx) {
+            if core != usize::MAX {
+                return core;
+            }
+        } else {
+            self.placement.resize(idx + 1, usize::MAX);
+        }
+        let core = self.placed % self.config.hierarchy.cores;
+        self.placed += 1;
+        self.placement[idx] = core;
+        core
     }
 
     /// The scheme under test.
@@ -312,7 +327,11 @@ impl SystemSim {
     fn synth_ifetch(&mut self, asid: Asid) -> MemRef {
         const TEXT_BASE: u64 = 0x40_0000;
         const LOOP_LINES: u64 = 128;
-        if !self.fetch_cursor.contains_key(&asid.as_u16()) {
+        let idx = asid.as_u16() as usize;
+        if idx >= self.fetch_cursor.len() {
+            self.fetch_cursor.resize(idx + 1, u64::MAX);
+        }
+        if self.fetch_cursor[idx] == u64::MAX {
             // Lazily map the text region (ignore overlap errors if the
             // workload already mapped something there).
             let _ = self.kernel.mmap(
@@ -322,8 +341,9 @@ impl SystemSim {
                 hvc_types::Permissions::RX,
                 hvc_os::MapIntent::Private,
             );
+            self.fetch_cursor[idx] = 0;
         }
-        let cursor = self.fetch_cursor.entry(asid.as_u16()).or_insert(0);
+        let cursor = &mut self.fetch_cursor[idx];
         *cursor = (*cursor + 1) % LOOP_LINES;
         let vaddr = VirtAddr::new(TEXT_BASE + *cursor * 64);
         MemRef {
@@ -613,8 +633,9 @@ impl SystemSim {
     ) -> Cycles {
         // Enforce cached r/o permissions (content-shared pages): a write
         // to a read-only cached line faults to the OS, which breaks COW
-        // and flushes the stale lines.
-        if kind.is_write() {
+        // and flushes the stale lines. Skipped while no line anywhere
+        // carries non-writable permissions (the probe could not fault).
+        if kind.is_write() && self.hierarchy.may_hold_readonly() {
             if let Some(p) = self.hierarchy.cached_permissions(core, name) {
                 if !p.is_writable() {
                     let _ = self.ensure_pte(asid, vaddr, kind);

@@ -61,6 +61,7 @@ impl BloomFilter {
     }
 
     /// Returns `true` if both hash positions for `va` are set.
+    #[inline]
     pub fn contains(&self, va: VirtAddr) -> bool {
         self.indices(va)
             .into_iter()
@@ -80,6 +81,7 @@ impl BloomFilter {
     }
 
     /// The two 10-bit filter indices for `va`.
+    #[inline]
     fn indices(&self, va: VirtAddr) -> [u16; 2] {
         let key = va.as_u64() >> self.granularity_shift;
         let width = VIRT_ADDR_BITS - self.granularity_shift;
@@ -94,6 +96,7 @@ impl BloomFilter {
 
     /// Splits the low `width` bits of `key` at `split`, XOR-folds each
     /// side to 5 bits, and concatenates into a 10-bit index.
+    #[inline]
     fn fold_pair(key: u64, width: u32, split: u32) -> u16 {
         let low = key & ((1u64 << split) - 1);
         let high = (key >> split) & ((1u64 << (width - split)) - 1);
@@ -103,6 +106,7 @@ impl BloomFilter {
     }
 
     /// XOR-folds a value into 5 bits.
+    #[inline]
     fn xor_fold5(mut v: u64) -> u64 {
         let mut acc = 0u64;
         while v != 0 {

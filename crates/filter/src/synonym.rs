@@ -48,6 +48,7 @@ impl SynonymFilter {
     }
 
     /// Returns `true` if `va` may be a synonym (all four filter bits set).
+    #[inline]
     pub fn is_candidate(&self, va: VirtAddr) -> bool {
         self.coarse.contains(va) && self.fine.contains(va)
     }

@@ -4,8 +4,8 @@ use crate::pagetable::PageTable;
 use crate::segment::SegmentId;
 use crate::shm::ShmId;
 use hvc_filter::SynonymFilter;
-use hvc_types::{Asid, Permissions, VirtAddr, PAGE_SHIFT};
-use std::collections::{BTreeMap, HashSet};
+use hvc_types::{Asid, FxHashSet, Permissions, VirtAddr, PAGE_SHIFT};
+use std::collections::BTreeMap;
 
 /// What backs a virtual memory area.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,7 +62,7 @@ pub struct AddressSpace {
     pub filter: SynonymFilter,
     pub(crate) vmas: BTreeMap<u64, Vma>,
     /// Pages touched at least once (utilization accounting).
-    pub(crate) touched: HashSet<u64>,
+    pub(crate) touched: FxHashSet<u64>,
     /// Bytes eagerly allocated to this space (eager policy).
     pub(crate) eager_allocated: u64,
 }
@@ -74,7 +74,7 @@ impl AddressSpace {
             page_table,
             filter: SynonymFilter::new(),
             vmas: BTreeMap::new(),
-            touched: HashSet::new(),
+            touched: FxHashSet::default(),
             eager_allocated: 0,
         }
     }

@@ -6,10 +6,9 @@ use crate::pagetable::{PageTable, Pte, WalkPath};
 use crate::segment::{SegmentId, SegmentTable, DEFAULT_SEGMENT_CAPACITY};
 use crate::shm::{ShmId, ShmObject};
 use hvc_types::{
-    AccessKind, Asid, HvcError, MergeStats, Permissions, Result, VirtAddr, VirtPage, PAGE_SHIFT,
-    PAGE_SIZE,
+    AccessKind, Asid, FxHashMap, HvcError, MergeStats, Permissions, Result, VirtAddr, VirtPage,
+    PAGE_SHIFT, PAGE_SIZE,
 };
-use std::collections::HashMap;
 
 /// Physical memory allocation policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,7 +126,7 @@ pub struct Kernel {
     /// metadata allocations never fragment the user pool (and eager
     /// segments can grow in place).
     meta_frames: BuddyAllocator,
-    spaces: HashMap<u16, AddressSpace>,
+    spaces: FxHashMap<u16, AddressSpace>,
     next_asid: u16,
     shm: Vec<ShmObject>,
     segments: SegmentTable,
@@ -135,13 +134,13 @@ pub struct Kernel {
     stats: KernelStats,
     flush_queue: Vec<FlushRequest>,
     /// Last eagerly-allocated segment per space, for in-place extension.
-    last_segment: HashMap<u16, SegmentId>,
+    last_segment: FxHashMap<u16, SegmentId>,
     /// Outstanding physical reservations (ReservedSegments policy).
     reservations: Vec<Reservation>,
     /// Synonym-filter staleness per space: shared pages unmapped since
     /// the last rebuild. Crossing [`Kernel::FILTER_STALE_LIMIT`] triggers
     /// an automatic filter reconstruction (Section III-B).
-    stale_filter_pages: HashMap<u16, u64>,
+    stale_filter_pages: FxHashMap<u16, u64>,
 }
 
 /// A reserved-but-partially-committed physical region.
@@ -182,16 +181,16 @@ impl Kernel {
         Kernel {
             frames: BuddyAllocator::with_base(user_base, phys_bytes - Self::META_BYTES),
             meta_frames: BuddyAllocator::new(Self::META_BYTES),
-            spaces: HashMap::new(),
+            spaces: FxHashMap::default(),
             next_asid: 1,
             shm: Vec::new(),
             segments: SegmentTable::new(DEFAULT_SEGMENT_CAPACITY),
             policy,
             stats: KernelStats::default(),
             flush_queue: Vec::new(),
-            last_segment: HashMap::new(),
+            last_segment: FxHashMap::default(),
             reservations: Vec::new(),
-            stale_filter_pages: HashMap::new(),
+            stale_filter_pages: FxHashMap::default(),
         }
     }
 

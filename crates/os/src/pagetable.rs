@@ -6,8 +6,7 @@
 //! translation's interaction with the cache hierarchy faithful.
 
 use crate::BuddyAllocator;
-use hvc_types::{Permissions, PhysAddr, PhysFrame, Result, VirtPage};
-use std::collections::HashMap;
+use hvc_types::{FxHashMap, Permissions, PhysAddr, PhysFrame, Result, VirtPage};
 
 /// Radix levels of an x86-64 page table (PML4 → PDPT → PD → PT).
 pub const PT_LEVELS: usize = 4;
@@ -37,7 +36,7 @@ pub type WalkPath = [PhysAddr; PT_LEVELS];
 #[derive(Clone, Debug)]
 struct Node {
     frame: PhysFrame,
-    children: HashMap<u16, usize>,
+    children: FxHashMap<u16, usize>,
 }
 
 /// A 4-level radix page table for one address space.
@@ -46,7 +45,7 @@ pub struct PageTable {
     /// Arena of interior nodes; index 0 is the root (PML4).
     nodes: Vec<Node>,
     /// Leaf entries keyed by virtual page number.
-    leaves: HashMap<u64, Pte>,
+    leaves: FxHashMap<u64, Pte>,
 }
 
 impl PageTable {
@@ -58,11 +57,11 @@ impl PageTable {
     pub fn new(frames: &mut BuddyAllocator) -> Result<Self> {
         let root = Node {
             frame: frames.alloc_frame()?,
-            children: HashMap::new(),
+            children: FxHashMap::default(),
         };
         Ok(PageTable {
             nodes: vec![root],
-            leaves: HashMap::new(),
+            leaves: FxHashMap::default(),
         })
     }
 
@@ -85,7 +84,7 @@ impl PageTable {
                     let child = self.nodes.len();
                     self.nodes.push(Node {
                         frame,
-                        children: HashMap::new(),
+                        children: FxHashMap::default(),
                     });
                     self.nodes[node].children.insert(idx, child);
                     child

@@ -43,4 +43,4 @@ pub mod report;
 
 pub use exec::{run_cell, run_sweep, CellResult, FilterOccupancy, RunOptions, SweepOutcome};
 pub use grid::{Cell, Experiment};
-pub use report::{sweep_report, trace_events_json};
+pub use report::{run_report_value, sweep_report, trace_events_json};

@@ -156,6 +156,19 @@ fn cell_value(result: &CellResult, obs: bool) -> Value {
     ])
 }
 
+/// Serializes one run's statistics exactly as a sweep cell's `stats`
+/// object. Public so equivalence harnesses (golden-report tests, the
+/// hot-path bench) can pin a `RunReport` bitwise without going through a
+/// full sweep; the byte-identical guarantee of the module doc applies.
+pub fn run_report_value(
+    r: &RunReport,
+    filters: &[FilterOccupancy],
+    scheme: &str,
+    obs: bool,
+) -> Value {
+    stats_value(r, filters, scheme, obs)
+}
+
 fn stats_value(r: &RunReport, filters: &[FilterOccupancy], scheme: &str, obs: bool) -> Value {
     let entries = params::parse_scheme(scheme)
         .map(|(s, _)| params::delayed_entries(s))

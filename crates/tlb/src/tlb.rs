@@ -100,6 +100,24 @@ struct Entry {
     vpn: u64,
     pte: Pte,
     lru: u64,
+    /// The ASID generation captured at insert; the entry is live only
+    /// while it matches the current generation of its ASID.
+    gen: u64,
+}
+
+impl Entry {
+    /// Filler for slots whose valid bit is clear; never observed.
+    const EMPTY: Entry = Entry {
+        asid: Asid::KERNEL,
+        vpn: 0,
+        pte: Pte {
+            frame: hvc_types::PhysFrame::new(0),
+            perm: hvc_types::Permissions::NONE,
+            shared: false,
+        },
+        lru: 0,
+        gen: 0,
+    };
 }
 
 /// A set-associative TLB keyed by `(ASID, virtual page number)` with LRU
@@ -107,20 +125,47 @@ struct Entry {
 ///
 /// ASID tagging means context switches need no flush (homonyms cannot
 /// hit), matching the paper's ASID-based design.
+///
+/// Storage is a single contiguous slab (set `s` =
+/// `entries[s * ways .. (s + 1) * ways]`, live ways selected by a per-set
+/// occupancy bitmask). Address-space shootdowns are O(1): every entry is
+/// tagged with its ASID's generation at insert, [`Tlb::flush_asid`] just
+/// bumps the generation, and generation-mismatched entries never hit —
+/// they are reclaimed lazily as preferred free slots on insert.
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    sets: Vec<Vec<Entry>>,
+    /// `sets * ways` slots; slots whose `valid` bit is clear hold
+    /// [`Entry::EMPTY`] filler.
+    entries: Box<[Entry]>,
+    /// One occupancy bitmask per set (bit `w` = way `w` in use; an in-use
+    /// way may still be stale if its generation lags its ASID's).
+    valid: Box<[u64]>,
+    ways: usize,
+    set_mask: usize,
+    /// Current generation per ASID, grown lazily; absent ASIDs are at
+    /// generation 0.
+    asid_gen: Vec<u64>,
     tick: u64,
     stats: TlbStats,
 }
 
 impl Tlb {
     /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 64 ways (the per-set
+    /// occupancy bitmask is a `u64`).
     pub fn new(config: TlbConfig) -> Self {
         let sets = config.sets();
+        assert!(config.ways <= 64, "at most 64 ways per set");
         Tlb {
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            entries: vec![Entry::EMPTY; sets * config.ways].into_boxed_slice(),
+            valid: vec![0u64; sets].into_boxed_slice(),
+            ways: config.ways,
+            set_mask: sets - 1,
+            asid_gen: Vec::new(),
             config,
             tick: 0,
             stats: TlbStats::default(),
@@ -142,103 +187,202 @@ impl Tlb {
         self.stats = TlbStats::default();
     }
 
+    #[inline]
     fn set_index(&self, vpn: u64) -> usize {
-        (vpn as usize) & (self.sets.len() - 1)
+        (vpn as usize) & self.set_mask
+    }
+
+    /// Current generation of `asid` (0 if never flushed).
+    #[inline]
+    fn gen_of(&self, asid: Asid) -> u64 {
+        self.asid_gen
+            .get(asid.as_u16() as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether the in-use entry at `slot` is live (generation current).
+    #[inline]
+    fn is_live(&self, slot: usize) -> bool {
+        let e = &self.entries[slot];
+        e.gen == self.gen_of(e.asid)
     }
 
     /// Looks up a translation, updating LRU and counters.
     pub fn lookup(&mut self, asid: Asid, vpage: VirtPage) -> Option<Pte> {
         self.tick += 1;
-        let tick = self.tick;
         let vpn = vpage.as_u64();
-        let idx = self.set_index(vpn);
-        let found = self.sets[idx]
-            .iter_mut()
-            .find(|e| e.asid == asid && e.vpn == vpn);
-        match found {
-            Some(e) => {
-                e.lru = tick;
-                self.stats.hits += 1;
-                Some(e.pte)
+        let set = self.set_index(vpn);
+        let gen = self.gen_of(asid);
+        let base = set * self.ways;
+        let mut used = self.valid[set];
+        while used != 0 {
+            let w = used.trailing_zeros() as usize;
+            let e = &mut self.entries[base + w];
+            if e.asid == asid && e.vpn == vpn {
+                if e.gen == gen {
+                    e.lru = self.tick;
+                    self.stats.hits += 1;
+                    return Some(e.pte);
+                }
+                // Stale survivor of a generation flush: reclaim the slot.
+                *e = Entry::EMPTY;
+                self.valid[set] &= !(1 << w);
             }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+            used &= used - 1;
         }
+        self.stats.misses += 1;
+        None
     }
 
     /// Probes without updating LRU or counters.
     pub fn contains(&self, asid: Asid, vpage: VirtPage) -> bool {
         let vpn = vpage.as_u64();
-        self.sets[self.set_index(vpn)]
-            .iter()
-            .any(|e| e.asid == asid && e.vpn == vpn)
+        let set = self.set_index(vpn);
+        let gen = self.gen_of(asid);
+        let base = set * self.ways;
+        let mut used = self.valid[set];
+        while used != 0 {
+            let w = used.trailing_zeros() as usize;
+            let e = &self.entries[base + w];
+            if e.asid == asid && e.vpn == vpn && e.gen == gen {
+                return true;
+            }
+            used &= used - 1;
+        }
+        false
     }
 
     /// Inserts (or refreshes) a translation after a miss/page walk.
+    ///
+    /// Stale (generation-flushed) entries are preferred reclamation
+    /// targets, so a set never evicts a live entry while it holds dead
+    /// ones — exactly the occupancy an eager flush would have left.
     pub fn insert(&mut self, asid: Asid, vpage: VirtPage, pte: Pte) {
         self.tick += 1;
-        let tick = self.tick;
-        let ways = self.config.ways;
         let vpn = vpage.as_u64();
-        let idx = self.set_index(vpn);
-        let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|e| e.asid == asid && e.vpn == vpn) {
-            e.pte = pte;
-            e.lru = tick;
-            return;
+        let set = self.set_index(vpn);
+        let gen = self.gen_of(asid);
+        let base = set * self.ways;
+        let mut used = self.valid[set];
+        while used != 0 {
+            let w = used.trailing_zeros() as usize;
+            if !self.is_live(base + w) {
+                // Lazily reclaim any stale entry encountered on the way.
+                self.entries[base + w] = Entry::EMPTY;
+                self.valid[set] &= !(1 << w);
+            } else {
+                let e = &mut self.entries[base + w];
+                if e.asid == asid && e.vpn == vpn {
+                    e.pte = pte;
+                    e.lru = self.tick;
+                    return;
+                }
+            }
+            used &= used - 1;
         }
-        if set.len() == ways {
-            let (slot, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .expect("non-empty set");
-            set.swap_remove(slot);
-        }
-        set.push(Entry {
+        let mask = self.valid[set];
+        let way = if mask.count_ones() as usize == self.ways {
+            // All ways live: evict the unique LRU minimum (ticks are
+            // unique among live entries, so slot order cannot matter).
+            let mut live = mask;
+            let mut best = 0usize;
+            let mut best_lru = u64::MAX;
+            while live != 0 {
+                let w = live.trailing_zeros() as usize;
+                let lru = self.entries[base + w].lru;
+                if lru < best_lru {
+                    best_lru = lru;
+                    best = w;
+                }
+                live &= live - 1;
+            }
+            best
+        } else {
+            (!mask).trailing_zeros() as usize
+        };
+        self.entries[base + way] = Entry {
             asid,
             vpn,
             pte,
-            lru: tick,
-        });
+            lru: self.tick,
+            gen,
+        };
+        self.valid[set] |= 1 << way;
     }
 
     /// Invalidates one page's entry (TLB shootdown).
     pub fn flush_page(&mut self, asid: Asid, vpage: VirtPage) {
         let vpn = vpage.as_u64();
-        let idx = self.set_index(vpn);
-        self.sets[idx].retain(|e| !(e.asid == asid && e.vpn == vpn));
+        let set = self.set_index(vpn);
+        let base = set * self.ways;
+        let mut used = self.valid[set];
+        while used != 0 {
+            let w = used.trailing_zeros() as usize;
+            let e = &self.entries[base + w];
+            if e.asid == asid && e.vpn == vpn {
+                self.entries[base + w] = Entry::EMPTY;
+                self.valid[set] &= !(1 << w);
+            }
+            used &= used - 1;
+        }
     }
 
-    /// Invalidates every entry of an address space.
+    /// Invalidates every entry of an address space — O(1): the ASID's
+    /// generation is bumped and surviving entries can never hit again.
     pub fn flush_asid(&mut self, asid: Asid) {
-        for set in &mut self.sets {
-            set.retain(|e| e.asid != asid);
+        let idx = asid.as_u16() as usize;
+        if idx >= self.asid_gen.len() {
+            self.asid_gen.resize(idx + 1, 0);
         }
+        self.asid_gen[idx] += 1;
     }
 
     /// Invalidates everything.
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.valid.iter_mut().for_each(|m| *m = 0);
+        self.entries.iter_mut().for_each(|e| *e = Entry::EMPTY);
     }
 
-    /// Number of valid entries.
+    /// Number of valid (live) entries.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.live_slots().count()
     }
 
-    /// Iterates over all valid entries as `(asid, vpage, pte)`. Used by
+    /// Iterates over all live entries as `(asid, vpage, pte)`. Used by
     /// the `hvc-check` invariant sweeps to audit cached translations
     /// against the page tables; not on any simulation fast path.
     pub fn entries(&self) -> impl Iterator<Item = (Asid, VirtPage, Pte)> + '_ {
-        self.sets
-            .iter()
-            .flatten()
-            .map(|e| (e.asid, VirtPage::new(e.vpn), e.pte))
+        self.live_slots().map(|slot| {
+            let e = &self.entries[slot];
+            (e.asid, VirtPage::new(e.vpn), e.pte)
+        })
+    }
+
+    /// Slab indices of all live (in-use and generation-current) entries.
+    fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.valid.iter().enumerate().flat_map(move |(set, &mask)| {
+            let base = set * self.ways;
+            BitIter(mask)
+                .map(move |w| base + w)
+                .filter(|&slot| self.is_live(slot))
+        })
+    }
+}
+
+/// Iterator over the set bit positions of a `u64` mask, low to high.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let w = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(w)
     }
 }
 
@@ -317,6 +461,45 @@ mod tests {
         assert!(t.contains(b, VirtPage::new(1)));
         t.flush_all();
         assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn generation_flush_hides_entries_immediately() {
+        let mut t = tiny();
+        let a = Asid::new(1);
+        t.insert(a, VirtPage::new(0), pte(1));
+        t.flush_asid(a);
+        // The stale entry never hits, never shows in occupancy/entries.
+        assert_eq!(t.lookup(a, VirtPage::new(0)), None);
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.entries().count(), 0);
+    }
+
+    #[test]
+    fn stale_slots_are_reclaimed_before_evicting_live_entries() {
+        let mut t = tiny();
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        // Fill set 0 with both ways, then kill ASID 1.
+        t.insert(a, VirtPage::new(0), pte(1));
+        t.insert(b, VirtPage::new(2), pte(2));
+        t.flush_asid(a);
+        // Inserting into the full-looking set must reuse the stale slot,
+        // keeping ASID 2's live entry resident.
+        t.insert(b, VirtPage::new(4), pte(4));
+        assert!(t.contains(b, VirtPage::new(2)));
+        assert!(t.contains(b, VirtPage::new(4)));
+    }
+
+    #[test]
+    fn reinsert_after_generation_flush_is_fresh() {
+        let mut t = tiny();
+        let a = Asid::new(1);
+        t.insert(a, VirtPage::new(0), pte(1));
+        t.flush_asid(a);
+        t.insert(a, VirtPage::new(0), pte(7));
+        assert_eq!(t.lookup(a, VirtPage::new(0)), Some(pte(7)));
+        assert_eq!(t.occupancy(), 1, "stale duplicate must not linger");
     }
 
     #[test]

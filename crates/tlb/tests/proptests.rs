@@ -100,3 +100,186 @@ proptest! {
         }
     }
 }
+
+// --- Differential model: flat generation-tagged Tlb vs. naive eager model ---
+
+/// One entry of the reference TLB, mirroring the real per-entry state.
+#[derive(Clone, Debug)]
+struct RefEntry {
+    asid: u16,
+    vpn: u64,
+    pte: Pte,
+    lru: u64,
+}
+
+/// The naive seed-era storage the flat generation-tagged slab replaced:
+/// one `Vec` per set, linear probes, LRU victim by minimum tick, and
+/// **eager** ASID shootdown (walk every set, remove matching entries).
+/// The flat TLB instead bumps a per-ASID generation in O(1) and reclaims
+/// lazily — this test proves the two are observationally identical, in
+/// particular that generation-invalidated entries never hit and never
+/// displace a live entry.
+struct RefTlb {
+    sets: Vec<Vec<RefEntry>>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+}
+
+impl RefTlb {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefTlb {
+            sets: vec![Vec::new(); sets],
+            ways,
+            set_mask: sets as u64 - 1,
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn & self.set_mask) as usize
+    }
+
+    fn lookup(&mut self, asid: u16, vpn: u64) -> Option<Pte> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let entry = self.sets[set]
+            .iter_mut()
+            .find(|e| e.asid == asid && e.vpn == vpn)?;
+        entry.lru = tick;
+        Some(entry.pte)
+    }
+
+    fn insert(&mut self, asid: u16, vpn: u64, pte: Pte) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let ways = self.ways;
+        let entries = &mut self.sets[set];
+        if let Some(e) = entries.iter_mut().find(|e| e.asid == asid && e.vpn == vpn) {
+            e.pte = pte;
+            e.lru = tick;
+            return;
+        }
+        if entries.len() == ways {
+            let at = (0..entries.len())
+                .min_by_key(|&i| entries[i].lru)
+                .expect("full set");
+            entries.remove(at);
+        }
+        entries.push(RefEntry {
+            asid,
+            vpn,
+            pte,
+            lru: tick,
+        });
+    }
+
+    fn flush_page(&mut self, asid: u16, vpn: u64) {
+        let set = self.set_of(vpn);
+        self.sets[set].retain(|e| !(e.asid == asid && e.vpn == vpn));
+    }
+
+    fn flush_asid(&mut self, asid: u16) {
+        for entries in &mut self.sets {
+            entries.retain(|e| e.asid != asid);
+        }
+    }
+
+    fn flush_all(&mut self) {
+        self.sets.iter_mut().for_each(Vec::clear);
+    }
+
+    fn entries(&self) -> Vec<(u16, u64, u64)> {
+        let mut all: Vec<_> = self
+            .sets
+            .iter()
+            .flatten()
+            .map(|e| (e.asid, e.vpn, e.pte.frame.as_u64()))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// The operation alphabet of the TLB differential test.
+#[derive(Clone, Debug)]
+enum TlbOp {
+    Lookup(u16, u64),
+    Insert(u16, u64, u64),
+    FlushPage(u16, u64),
+    FlushAsid(u16),
+    FlushAll,
+}
+
+fn tlb_op() -> impl Strategy<Value = TlbOp> {
+    prop_oneof![
+        (1u16..4, 0u64..64).prop_map(|(a, p)| TlbOp::Lookup(a, p)),
+        (1u16..4, 0u64..64, 0u64..1024).prop_map(|(a, p, f)| TlbOp::Insert(a, p, f)),
+        (1u16..4, 0u64..64).prop_map(|(a, p)| TlbOp::FlushPage(a, p)),
+        (1u16..4).prop_map(TlbOp::FlushAsid),
+        Just(TlbOp::FlushAll),
+    ]
+}
+
+proptest! {
+    /// The flat generation-tagged `Tlb` is observationally equal to the
+    /// naive eager-flush model under arbitrary interleavings of lookups,
+    /// inserts and shootdowns: identical lookup results (stale entries
+    /// never hit), identical LRU victim choice (stale slots are
+    /// reclaimed before any live entry is displaced), identical hit/miss
+    /// counters, occupancy, and live-entry sets.
+    #[test]
+    fn flat_tlb_matches_naive_model(
+        ops in prop::collection::vec(tlb_op(), 1..300),
+    ) {
+        // 8 sets × 2 ways over 64 pages × 3 ASIDs: dense conflicts and
+        // frequent cross-generation slot reuse.
+        let mut flat = Tlb::new(TlbConfig::new(16, 2, Cycles::new(1)));
+        let mut model = RefTlb::new(8, 2);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for op in ops {
+            match op {
+                TlbOp::Lookup(a, p) => {
+                    let want = model.lookup(a, p);
+                    match want {
+                        Some(_) => hits += 1,
+                        None => misses += 1,
+                    }
+                    prop_assert_eq!(
+                        flat.lookup(Asid::new(a), VirtPage::new(p)),
+                        want,
+                        "lookup {}/{}", a, p
+                    );
+                }
+                TlbOp::Insert(a, p, f) => {
+                    flat.insert(Asid::new(a), VirtPage::new(p), pte(f));
+                    model.insert(a, p, pte(f));
+                }
+                TlbOp::FlushPage(a, p) => {
+                    flat.flush_page(Asid::new(a), VirtPage::new(p));
+                    model.flush_page(a, p);
+                }
+                TlbOp::FlushAsid(a) => {
+                    flat.flush_asid(Asid::new(a));
+                    model.flush_asid(a);
+                }
+                TlbOp::FlushAll => {
+                    flat.flush_all();
+                    model.flush_all();
+                }
+            }
+            prop_assert_eq!(flat.occupancy(), model.entries().len());
+        }
+        prop_assert_eq!(flat.stats().hits, hits);
+        prop_assert_eq!(flat.stats().misses, misses);
+        let mut flat_entries: Vec<_> = flat
+            .entries()
+            .map(|(a, p, pte)| (a.as_u16(), p.as_u64(), pte.frame.as_u64()))
+            .collect();
+        flat_entries.sort_unstable();
+        prop_assert_eq!(flat_entries, model.entries(), "live entry sets differ");
+    }
+}

@@ -1,0 +1,136 @@
+//! A fast, deterministic hasher for the simulator's small integer keys.
+//!
+//! The std `HashMap` defaults to SipHash with a per-instance random seed.
+//! That is the right default for untrusted input, but the simulator's maps
+//! are keyed by small internal identifiers (ASIDs, virtual page numbers,
+//! radix indices) chosen by the model itself, so DoS resistance buys
+//! nothing and the per-lookup SipHash cost lands on the hottest paths
+//! (`Kernel::space`, page-table walks). This multiply-xor hash — the
+//! rotate/multiply construction popularized by Firefox and rustc — is a
+//! handful of ALU ops per word and, unlike `RandomState`, fully
+//! deterministic, which keeps map iteration order stable across runs.
+//!
+//! Behavioral note: nothing in the simulator may depend on map iteration
+//! order (the golden-equivalence suite reproduces byte-identical reports
+//! across processes even under `RandomState`'s per-process seeds), so
+//! swapping the hasher is observationally neutral; determinism here is a
+//! debugging nicety, not a correctness requirement.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Multiply-xor hasher for small trusted keys (not DoS-resistant).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Odd multiplier close to 2^64 / phi, spreading entropy into high bits.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hash_of = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        let hashes: Vec<u64> = (0..1000).map(hash_of).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len(), "no collisions on 0..1000");
+        // High bits must carry entropy — HashMap uses the top 7 bits for
+        // its SIMD tag byte.
+        assert!(hashes.iter().any(|h| h >> 57 != hashes[0] >> 57));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u16, u32> = FxHashMap::default();
+        for i in 0..100u16 {
+            m.insert(i, u32::from(i) * 3);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&42), Some(&126));
+        assert_eq!(m.remove(&42), Some(126));
+        assert!(!m.contains_key(&42));
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes_for_length() {
+        // `write` must consume all bytes (padding short tails), so equal
+        // prefixes with different tails hash differently.
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -35,6 +35,7 @@ mod addr;
 mod check;
 mod cycles;
 mod error;
+mod fx;
 mod ids;
 mod merge;
 mod perm;
@@ -47,6 +48,7 @@ pub use addr::{
 pub use check::{CheckHooks, NoChecks};
 pub use cycles::Cycles;
 pub use error::{HvcError, Result};
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Asid, BlockName, Vmid};
 pub use merge::MergeStats;
 pub use perm::Permissions;

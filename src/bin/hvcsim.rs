@@ -24,6 +24,7 @@ USAGE:
     hvcsim [OPTIONS]                 run one simulation
     hvcsim sweep [SWEEP OPTIONS]     run an experiment grid in parallel
     hvcsim check [CHECK OPTIONS]     run the correctness checker
+    hvcsim bench [BENCH OPTIONS]     measure simulator throughput (refs/sec)
 
 OPTIONS:
     --workload <name>    workload profile (see --list)        [default: gups]
@@ -64,6 +65,14 @@ CHECK OPTIONS:
     --seed-range <a..b>  randomized stress-script seeds       [default: 0..4]
     --stress-ops <n>     operations per stress script         [default: 400]
     --native-only        skip the virtualized (nested) harnesses
+
+BENCH OPTIONS:
+    --refs <n>           measured references per case (also honours the
+                         HVC_REFS environment variable)       [default: 1000000]
+    --warm <n>           unmeasured warm-up references        [default: 250000]
+    --mem <size>         workload memory, e.g. 256M, 1G       [default: 512M]
+    --seed <n>           workload RNG seed                    [default: 42]
+    --out <path>         JSON report path       [default: BENCH_hotpath.json]
 ";
 
 fn main() -> ExitCode {
@@ -71,6 +80,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("sweep") => sweep_main(&args[1..]),
         Some("check") => check_main(&args[1..]),
+        Some("bench") => bench_main(&args[1..]),
         _ => single_main(&args),
     }
 }
@@ -459,6 +469,87 @@ fn check_main(args: &[String]) -> ExitCode {
         eprintln!("all checks passed");
         ExitCode::SUCCESS
     }
+}
+
+/// `hvcsim bench ...`: measure simulator throughput over the fixed
+/// hot-path matrix and write a `hvc-bench/1` JSON report.
+fn bench_main(args: &[String]) -> ExitCode {
+    use hvc::bench::hotpath;
+
+    let mut config = hotpath::BenchConfig::default();
+    let mut out = "BENCH_hotpath.json".to_string();
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> Option<String> {
+        *i += 1;
+        args.get(*i - 1).cloned()
+    };
+    while i < args.len() {
+        let arg = args[i].clone();
+        i += 1;
+        let bad = || {
+            eprintln!("invalid or missing value for {arg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--refs" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config.refs = v,
+                _ => return bad(),
+            },
+            "--warm" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => config.warm = v,
+                None => return bad(),
+            },
+            "--mem" => match next(&mut i).and_then(|v| params::parse_size(&v)) {
+                Some(v) => config.mem = v,
+                None => return bad(),
+            },
+            "--seed" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => config.seed = v,
+                None => return bad(),
+            },
+            "--out" => match next(&mut i) {
+                Some(v) => out = v,
+                None => return bad(),
+            },
+            _ => {
+                eprintln!("unknown option {arg}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "benchmarking {} cases × {} refs ({} warm-up each)…",
+        hotpath::MATRIX.len(),
+        config.refs,
+        config.warm
+    );
+    let cases = hotpath::run_matrix(&config);
+    println!(
+        "{:<10}  {:<12}  {:>10}  {:>12}",
+        "workload", "scheme", "wall ms", "M refs/s"
+    );
+    for c in &cases {
+        println!(
+            "{:<10}  {:<12}  {:>10.1}  {:>12.3}",
+            c.workload,
+            c.scheme,
+            c.wall_ms,
+            c.refs_per_sec / 1e6
+        );
+    }
+    let doc = hotpath::bench_report(&config, &cases);
+    if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
 }
 
 /// Checks one workload under a virtualized scheme: guest setup in a

@@ -26,6 +26,7 @@
 //! | [`workloads`] | synthetic application trace generators |
 //! | [`check`] | differential oracle + invariant checking |
 //! | [`runner`] | parallel experiment sweeps + JSON reports |
+//! | [`mod@bench`] | figure/table harnesses + simulator-throughput bench |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 //! # }
 //! ```
 
+pub use hvc_bench as bench;
 pub use hvc_cache as cache;
 pub use hvc_check as check;
 pub use hvc_core as core;

@@ -1,0 +1,169 @@
+//! Golden bitwise-equivalence regression for the per-reference hot path.
+//!
+//! A representative grid — baseline / hybrid / many-segment / Enigma,
+//! native (single- and multi-core, with and without ifetch) plus the
+//! virtualized schemes — was serialized with
+//! [`hvc::runner::run_report_value`] and committed under
+//! `tests/goldens/`. Any restructuring of the cache/TLB storage or the
+//! step loop must reproduce that file **byte for byte**: every counter,
+//! derived rate, latency percentile and attribution bucket.
+//!
+//! Regenerate with `HVC_BLESS=1 cargo test --test equivalence_golden`
+//! after an *intentional* behavior change — never to paper over an
+//! unexplained diff.
+
+use hvc::core::{SystemConfig, VirtScheme, VirtSystemSim};
+use hvc::os::AllocPolicy;
+use hvc::runner::json::Value;
+use hvc::runner::{run_cell, run_report_value, Experiment};
+use hvc::virt::Hypervisor;
+
+const GOLDEN_PATH: &str = "tests/goldens/hotpath_equivalence.json";
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The native single-core grid: both workload classes under all four
+/// scheme families, with the observability sections pinned too.
+fn native_grid() -> Experiment {
+    Experiment {
+        name: "golden-native".into(),
+        workloads: vec!["gups".into(), "postgres".into()],
+        schemes: vec![
+            "baseline".into(),
+            "dtlb:1024".into(),
+            "manyseg".into(),
+            "enigma:1024".into(),
+        ],
+        seeds: vec![42],
+        llc_bytes: vec![2 << 20],
+        refs: 20_000,
+        warm: 10_000,
+        mem: 64 << 20,
+        cores: 1,
+        ifetch: false,
+        replay: None,
+        obs: true,
+    }
+}
+
+/// The native multi-core grid: coherence + ifetch paths.
+fn native_mc_grid() -> Experiment {
+    Experiment {
+        name: "golden-native-mc".into(),
+        workloads: vec!["postgres".into()],
+        schemes: vec!["dtlb:1024".into(), "manyseg".into()],
+        seeds: vec![42],
+        llc_bytes: vec![2 << 20],
+        refs: 10_000,
+        warm: 5_000,
+        mem: 64 << 20,
+        cores: 2,
+        ifetch: true,
+        replay: None,
+        obs: true,
+    }
+}
+
+fn native_cells(exp: &Experiment) -> Vec<Value> {
+    exp.cells()
+        .iter()
+        .map(|cell| {
+            let (report, filters) =
+                run_cell(exp, cell, 1, None, false).expect("golden cell must run");
+            object(vec![
+                ("experiment", Value::Str(exp.name.clone())),
+                ("workload", Value::Str(cell.workload.clone())),
+                ("scheme", Value::Str(cell.scheme.clone())),
+                ("seed", Value::UInt(cell.seed)),
+                (
+                    "stats",
+                    run_report_value(&report, &filters, &cell.scheme, exp.obs),
+                ),
+            ])
+        })
+        .collect()
+}
+
+fn virt_cells() -> Vec<Value> {
+    let schemes: [(&str, VirtScheme); 3] = [
+        ("nested-baseline", VirtScheme::NestedBaseline),
+        (
+            "hybrid-delayed-nested:1024",
+            VirtScheme::HybridDelayedNested(1024),
+        ),
+        ("hybrid-nested-segments", VirtScheme::HybridNestedSegments),
+    ];
+    let mem: u64 = 64 << 20;
+    let spec = hvc::runner::params::workload_by_name("gups", mem).expect("gups exists");
+    schemes
+        .iter()
+        .map(|(label, scheme)| {
+            let vm_bytes = (mem * 4).max(1 << 30);
+            let mut hv = Hypervisor::new(vm_bytes + (1 << 30));
+            let vm = hv
+                .create_vm(vm_bytes, AllocPolicy::DemandPaging, false)
+                .expect("vm");
+            let gk = hv.guest_kernel_mut(vm).expect("guest kernel");
+            let mut wl = spec.instantiate(gk, 42).expect("guest workload");
+            let mut sim =
+                VirtSystemSim::new(hv, vm, SystemConfig::isca2016(), *scheme).expect("virt sim");
+            sim.warm_up(&mut wl, 5_000);
+            let report = sim.run(&mut wl, 10_000);
+            object(vec![
+                ("experiment", Value::Str("golden-virt".into())),
+                ("workload", Value::Str("gups".into())),
+                ("scheme", Value::Str((*label).into())),
+                ("seed", Value::UInt(42)),
+                ("stats", run_report_value(&report, &[], label, false)),
+            ])
+        })
+        .collect()
+}
+
+fn current_document() -> Value {
+    let mut cells = native_cells(&native_grid());
+    cells.extend(native_cells(&native_mc_grid()));
+    cells.extend(virt_cells());
+    object(vec![
+        ("schema", Value::Str("hvc-golden/1".into())),
+        ("cells", Value::Array(cells)),
+    ])
+}
+
+#[test]
+fn hot_path_reports_match_the_blessed_goldens() {
+    let text = current_document().to_pretty();
+    if std::env::var_os("HVC_BLESS").is_some() {
+        std::fs::create_dir_all("tests/goldens").expect("mkdir goldens");
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden");
+        eprintln!("blessed {GOLDEN_PATH} ({} bytes)", text.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run HVC_BLESS=1 cargo test --test equivalence_golden");
+    if text != golden {
+        // Point at the first divergence instead of dumping both docs.
+        let byte = text
+            .bytes()
+            .zip(golden.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| text.len().min(golden.len()));
+        let line = golden[..byte.min(golden.len())].lines().count();
+        let ctx_from = byte.saturating_sub(120);
+        panic!(
+            "hot-path report diverges from {GOLDEN_PATH} at byte {byte} (line ~{line}).\n\
+             golden: …{}…\n\
+             got:    …{}…\n\
+             If the change is intentional, re-bless with HVC_BLESS=1.",
+            &golden[ctx_from..(byte + 120).min(golden.len())],
+            &text[ctx_from..(byte + 120).min(text.len())],
+        );
+    }
+}
