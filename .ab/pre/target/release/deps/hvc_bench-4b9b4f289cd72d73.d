@@ -1,0 +1,8 @@
+/root/repo/.ab/pre/target/release/deps/hvc_bench-4b9b4f289cd72d73.d: crates/bench/src/lib.rs crates/bench/src/wallclock.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_bench-4b9b4f289cd72d73.rlib: crates/bench/src/lib.rs crates/bench/src/wallclock.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_bench-4b9b4f289cd72d73.rmeta: crates/bench/src/lib.rs crates/bench/src/wallclock.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/wallclock.rs:

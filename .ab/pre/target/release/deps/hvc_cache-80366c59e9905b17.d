@@ -1,0 +1,11 @@
+/root/repo/.ab/pre/target/release/deps/hvc_cache-80366c59e9905b17.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/hierarchy.rs crates/cache/src/stats.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_cache-80366c59e9905b17.rlib: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/hierarchy.rs crates/cache/src/stats.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_cache-80366c59e9905b17.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/hierarchy.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/config.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/.ab/pre/target/release/deps/hvc_check-4857122802513314.d: crates/check/src/lib.rs crates/check/src/invariants.rs crates/check/src/oracle.rs crates/check/src/stress.rs crates/check/src/violation.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_check-4857122802513314.rlib: crates/check/src/lib.rs crates/check/src/invariants.rs crates/check/src/oracle.rs crates/check/src/stress.rs crates/check/src/violation.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_check-4857122802513314.rmeta: crates/check/src/lib.rs crates/check/src/invariants.rs crates/check/src/oracle.rs crates/check/src/stress.rs crates/check/src/violation.rs
+
+crates/check/src/lib.rs:
+crates/check/src/invariants.rs:
+crates/check/src/oracle.rs:
+crates/check/src/stress.rs:
+crates/check/src/violation.rs:

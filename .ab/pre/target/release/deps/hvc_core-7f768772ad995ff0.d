@@ -1,0 +1,13 @@
+/root/repo/.ab/pre/target/release/deps/hvc_core-7f768772ad995ff0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/core_model.rs crates/core/src/energy.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/virt_system.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_core-7f768772ad995ff0.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/core_model.rs crates/core/src/energy.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/virt_system.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_core-7f768772ad995ff0.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/core_model.rs crates/core/src/energy.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/virt_system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/core_model.rs:
+crates/core/src/energy.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/virt_system.rs:

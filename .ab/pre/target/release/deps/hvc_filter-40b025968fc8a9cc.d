@@ -1,0 +1,9 @@
+/root/repo/.ab/pre/target/release/deps/hvc_filter-40b025968fc8a9cc.d: crates/filter/src/lib.rs crates/filter/src/bloom.rs crates/filter/src/synonym.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_filter-40b025968fc8a9cc.rlib: crates/filter/src/lib.rs crates/filter/src/bloom.rs crates/filter/src/synonym.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_filter-40b025968fc8a9cc.rmeta: crates/filter/src/lib.rs crates/filter/src/bloom.rs crates/filter/src/synonym.rs
+
+crates/filter/src/lib.rs:
+crates/filter/src/bloom.rs:
+crates/filter/src/synonym.rs:

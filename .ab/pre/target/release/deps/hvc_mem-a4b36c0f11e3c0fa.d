@@ -1,0 +1,11 @@
+/root/repo/.ab/pre/target/release/deps/hvc_mem-a4b36c0f11e3c0fa.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/stats.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_mem-a4b36c0f11e3c0fa.rlib: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/stats.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_mem-a4b36c0f11e3c0fa.rmeta: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/stats.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/.ab/pre/target/release/deps/hvc_obs-cc8855857e593277.d: crates/obs/src/lib.rs crates/obs/src/attr.rs crates/obs/src/hist.rs crates/obs/src/tracer.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_obs-cc8855857e593277.rlib: crates/obs/src/lib.rs crates/obs/src/attr.rs crates/obs/src/hist.rs crates/obs/src/tracer.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_obs-cc8855857e593277.rmeta: crates/obs/src/lib.rs crates/obs/src/attr.rs crates/obs/src/hist.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/attr.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/tracer.rs:

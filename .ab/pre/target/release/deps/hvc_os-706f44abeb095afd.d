@@ -1,0 +1,13 @@
+/root/repo/.ab/pre/target/release/deps/hvc_os-706f44abeb095afd.d: crates/os/src/lib.rs crates/os/src/addrspace.rs crates/os/src/frame.rs crates/os/src/kernel.rs crates/os/src/pagetable.rs crates/os/src/segment.rs crates/os/src/shm.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_os-706f44abeb095afd.rlib: crates/os/src/lib.rs crates/os/src/addrspace.rs crates/os/src/frame.rs crates/os/src/kernel.rs crates/os/src/pagetable.rs crates/os/src/segment.rs crates/os/src/shm.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_os-706f44abeb095afd.rmeta: crates/os/src/lib.rs crates/os/src/addrspace.rs crates/os/src/frame.rs crates/os/src/kernel.rs crates/os/src/pagetable.rs crates/os/src/segment.rs crates/os/src/shm.rs
+
+crates/os/src/lib.rs:
+crates/os/src/addrspace.rs:
+crates/os/src/frame.rs:
+crates/os/src/kernel.rs:
+crates/os/src/pagetable.rs:
+crates/os/src/segment.rs:
+crates/os/src/shm.rs:

@@ -1,0 +1,15 @@
+/root/repo/.ab/pre/target/release/deps/hvc_runner-08d823ddc4db0fcd.d: crates/runner/src/lib.rs crates/runner/src/exec.rs crates/runner/src/grid.rs crates/runner/src/json.rs crates/runner/src/params.rs crates/runner/src/presets.rs crates/runner/src/report.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_runner-08d823ddc4db0fcd.rlib: crates/runner/src/lib.rs crates/runner/src/exec.rs crates/runner/src/grid.rs crates/runner/src/json.rs crates/runner/src/params.rs crates/runner/src/presets.rs crates/runner/src/report.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_runner-08d823ddc4db0fcd.rmeta: crates/runner/src/lib.rs crates/runner/src/exec.rs crates/runner/src/grid.rs crates/runner/src/json.rs crates/runner/src/params.rs crates/runner/src/presets.rs crates/runner/src/report.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/exec.rs:
+crates/runner/src/grid.rs:
+crates/runner/src/json.rs:
+crates/runner/src/params.rs:
+crates/runner/src/presets.rs:
+crates/runner/src/report.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

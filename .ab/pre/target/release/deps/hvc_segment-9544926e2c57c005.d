@@ -1,0 +1,14 @@
+/root/repo/.ab/pre/target/release/deps/hvc_segment-9544926e2c57c005.d: crates/segment/src/lib.rs crates/segment/src/direct.rs crates/segment/src/hw_table.rs crates/segment/src/index_cache.rs crates/segment/src/index_tree.rs crates/segment/src/many.rs crates/segment/src/rmm.rs crates/segment/src/segment_cache.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_segment-9544926e2c57c005.rlib: crates/segment/src/lib.rs crates/segment/src/direct.rs crates/segment/src/hw_table.rs crates/segment/src/index_cache.rs crates/segment/src/index_tree.rs crates/segment/src/many.rs crates/segment/src/rmm.rs crates/segment/src/segment_cache.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_segment-9544926e2c57c005.rmeta: crates/segment/src/lib.rs crates/segment/src/direct.rs crates/segment/src/hw_table.rs crates/segment/src/index_cache.rs crates/segment/src/index_tree.rs crates/segment/src/many.rs crates/segment/src/rmm.rs crates/segment/src/segment_cache.rs
+
+crates/segment/src/lib.rs:
+crates/segment/src/direct.rs:
+crates/segment/src/hw_table.rs:
+crates/segment/src/index_cache.rs:
+crates/segment/src/index_tree.rs:
+crates/segment/src/many.rs:
+crates/segment/src/rmm.rs:
+crates/segment/src/segment_cache.rs:

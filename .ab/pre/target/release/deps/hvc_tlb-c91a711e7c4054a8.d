@@ -1,0 +1,11 @@
+/root/repo/.ab/pre/target/release/deps/hvc_tlb-c91a711e7c4054a8.d: crates/tlb/src/lib.rs crates/tlb/src/tlb.rs crates/tlb/src/two_level.rs crates/tlb/src/walkcache.rs crates/tlb/src/walker.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_tlb-c91a711e7c4054a8.rlib: crates/tlb/src/lib.rs crates/tlb/src/tlb.rs crates/tlb/src/two_level.rs crates/tlb/src/walkcache.rs crates/tlb/src/walker.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_tlb-c91a711e7c4054a8.rmeta: crates/tlb/src/lib.rs crates/tlb/src/tlb.rs crates/tlb/src/two_level.rs crates/tlb/src/walkcache.rs crates/tlb/src/walker.rs
+
+crates/tlb/src/lib.rs:
+crates/tlb/src/tlb.rs:
+crates/tlb/src/two_level.rs:
+crates/tlb/src/walkcache.rs:
+crates/tlb/src/walker.rs:

@@ -1,0 +1,7 @@
+/root/repo/.ab/pre/target/release/deps/hvc_trace-4b12401b972733e7.d: crates/trace/src/lib.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_trace-4b12401b972733e7.rlib: crates/trace/src/lib.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_trace-4b12401b972733e7.rmeta: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

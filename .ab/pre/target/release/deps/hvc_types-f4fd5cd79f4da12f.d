@@ -1,0 +1,15 @@
+/root/repo/.ab/pre/target/release/deps/hvc_types-f4fd5cd79f4da12f.d: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/addr.rs crates/types/src/check.rs crates/types/src/cycles.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/merge.rs crates/types/src/perm.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_types-f4fd5cd79f4da12f.rlib: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/addr.rs crates/types/src/check.rs crates/types/src/cycles.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/merge.rs crates/types/src/perm.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_types-f4fd5cd79f4da12f.rmeta: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/addr.rs crates/types/src/check.rs crates/types/src/cycles.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/merge.rs crates/types/src/perm.rs
+
+crates/types/src/lib.rs:
+crates/types/src/access.rs:
+crates/types/src/addr.rs:
+crates/types/src/check.rs:
+crates/types/src/cycles.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/merge.rs:
+crates/types/src/perm.rs:

@@ -1,0 +1,10 @@
+/root/repo/.ab/pre/target/release/deps/hvc_virt-f6a03596a96c8d41.d: crates/virt/src/lib.rs crates/virt/src/hypervisor.rs crates/virt/src/nested.rs crates/virt/src/nested_segments.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_virt-f6a03596a96c8d41.rlib: crates/virt/src/lib.rs crates/virt/src/hypervisor.rs crates/virt/src/nested.rs crates/virt/src/nested_segments.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_virt-f6a03596a96c8d41.rmeta: crates/virt/src/lib.rs crates/virt/src/hypervisor.rs crates/virt/src/nested.rs crates/virt/src/nested_segments.rs
+
+crates/virt/src/lib.rs:
+crates/virt/src/hypervisor.rs:
+crates/virt/src/nested.rs:
+crates/virt/src/nested_segments.rs:

@@ -1,0 +1,10 @@
+/root/repo/.ab/pre/target/release/deps/hvc_workloads-99eb0a4a18a82df9.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/patterns.rs crates/workloads/src/spec.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_workloads-99eb0a4a18a82df9.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/patterns.rs crates/workloads/src/spec.rs
+
+/root/repo/.ab/pre/target/release/deps/libhvc_workloads-99eb0a4a18a82df9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/patterns.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/patterns.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/.ab/pre/target/release/deps/wallclock-e71128701f73d517.d: crates/bench/benches/wallclock.rs
+
+/root/repo/.ab/pre/target/release/deps/wallclock-e71128701f73d517: crates/bench/benches/wallclock.rs
+
+crates/bench/benches/wallclock.rs:
