@@ -80,6 +80,46 @@ impl Value {
         out
     }
 
+    /// Serializes on a single line with no insignificant whitespace —
+    /// the NDJSON form used by the experiment server, where every
+    /// streamed event must be exactly one line. Like [`Value::to_pretty`]
+    /// it is deterministic: identical values serialize byte-identically.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null | Value::Bool(_) | Value::UInt(_) | Value::Float(_) | Value::Str(_) => {
+                self.write(out, 0)
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -396,6 +436,29 @@ mod tests {
         ]);
         let text = doc.to_pretty();
         assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let doc = obj(&[
+            ("name", Value::Str("a \"quoted\"\nstring".into())),
+            ("n", Value::UInt(7)),
+            ("list", Value::Array(vec![Value::UInt(1), Value::Null])),
+            ("empty", Value::Object(vec![])),
+        ]);
+        let text = doc.to_compact();
+        assert!(!text.contains('\n') || text.contains("\\n"));
+        assert_eq!(text.lines().count(), 1, "compact output spans lines");
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert_eq!(
+            Value::Array(vec![]).to_compact(),
+            "[]",
+            "empty array stays bare"
+        );
+        assert_eq!(
+            obj(&[("a", Value::UInt(1)), ("b", Value::Bool(false))]).to_compact(),
+            "{\"a\":1,\"b\":false}"
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property test for the stable cell key: **key equality ⇔ config
+//! equality** over randomized variations of the smoke grid.
+//!
+//! The memoizing result cache and the crash-resume spool both rely on
+//! this biconditional. A false *positive* (equal keys, different
+//! configs) would silently serve one experiment's statistics for
+//! another; a false *negative* (different keys, equal configs) would
+//! only waste a re-simulation — still worth catching, since it breaks
+//! the "warm server re-sweep is free" contract.
+
+use hvc_runner::presets::preset;
+use hvc_runner::{cell_key, Cell, Experiment};
+use proptest::prelude::*;
+
+/// The configuration tuple the key is specified over (everything
+/// [`cell_key`] documents as hashed, in one comparable value).
+fn config_tuple(
+    exp: &Experiment,
+    cell: &Cell,
+) -> (
+    String,
+    String,
+    u64,
+    u64,
+    usize,
+    usize,
+    u64,
+    usize,
+    bool,
+    Option<String>,
+) {
+    (
+        cell.workload.clone(),
+        cell.scheme.clone(),
+        cell.seed,
+        cell.llc_bytes,
+        exp.refs,
+        exp.warm,
+        exp.mem,
+        exp.cores,
+        exp.ifetch,
+        exp.replay.clone(),
+    )
+}
+
+/// A smoke-grid experiment with a few axes perturbed, plus one of its
+/// cells. Values are drawn from small sets so identical configurations
+/// occur often enough to exercise both directions of the biconditional.
+fn smoke_variant() -> impl Strategy<Value = (Experiment, Cell)> {
+    (
+        0usize..2, // which smoke cell (baseline / manyseg)
+        prop_oneof![Just(1_000usize), Just(2_000usize)],
+        prop_oneof![Just(0usize), Just(500usize)],
+        prop_oneof![Just(16u64 << 20), Just(32u64 << 20)],
+        0u64..3,       // base seed
+        any::<bool>(), // ifetch
+        any::<bool>(), // obs (must NOT affect the key)
+    )
+        .prop_map(|(cell_ix, refs, warm, mem, seed, ifetch, obs)| {
+            let mut exp = preset("smoke").expect("smoke preset");
+            exp.refs = refs;
+            exp.warm = warm;
+            exp.mem = mem;
+            exp.seeds = vec![seed];
+            exp.ifetch = ifetch;
+            exp.obs = obs;
+            let cell = exp.cells().swap_remove(cell_ix);
+            (exp, cell)
+        })
+}
+
+proptest! {
+    #[test]
+    fn key_equality_iff_config_equality(
+        (exp_a, cell_a) in smoke_variant(),
+        (exp_b, cell_b) in smoke_variant(),
+    ) {
+        let keys_equal = cell_key(&exp_a, &cell_a) == cell_key(&exp_b, &cell_b);
+        let configs_equal =
+            config_tuple(&exp_a, &cell_a) == config_tuple(&exp_b, &cell_b);
+        prop_assert_eq!(
+            keys_equal, configs_equal,
+            "key aliasing disagrees with config equality: a={:?} b={:?}",
+            config_tuple(&exp_a, &cell_a), config_tuple(&exp_b, &cell_b)
+        );
+    }
+
+    #[test]
+    fn key_is_deterministic_across_recomputation(
+        (exp, cell) in smoke_variant(),
+    ) {
+        prop_assert_eq!(cell_key(&exp, &cell), cell_key(&exp, &cell));
+    }
+}

@@ -1,0 +1,36 @@
+//! `hvc-serve` — a concurrent experiment server for the simulator.
+//!
+//! `hvcsim serve` turns the sweep runner into a long-lived service: a
+//! threaded HTTP/1.1 server (std-only, in the same dependency-free
+//! spirit as the rest of the workspace) that accepts experiment-grid
+//! requests, shards their cells across a bounded worker pool, streams
+//! per-cell progress back as NDJSON, and **memoizes** every completed
+//! cell twice over —
+//!
+//! * in memory, in a sharded LRU [`cache::ResultCache`] keyed by the
+//!   stable [`hvc_runner::cell_key`], so re-submitting an overlapping
+//!   grid re-simulates nothing it has already run, and
+//! * on disk, in a crash-safe [`spool`] of atomically-written cell
+//!   files, so a server killed mid-sweep resumes on restart and the
+//!   finished report is byte-identical to an uninterrupted run.
+//!
+//! The modules compose bottom-up: [`http`] speaks the wire protocol,
+//! [`request`] validates grids through the `hvc-runner` machinery,
+//! [`pool`] bounds simulation concurrency, [`cache`] and [`spool`]
+//! memoize, and [`server`] ties them together behind
+//! [`server::Server::start`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod pool;
+pub mod request;
+pub mod server;
+pub mod spool;
+
+pub use cache::{CacheStats, CachedCell, Origin, ResultCache};
+pub use pool::WorkerPool;
+pub use server::{ServeConfig, Server, REPORT_SCHEMA};
+pub use spool::SPOOL_SCHEMA;

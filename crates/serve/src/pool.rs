@@ -1,0 +1,182 @@
+//! A bounded worker pool shared by every in-flight sweep request.
+//!
+//! Requests enqueue one job per uncached cell; a fixed set of worker
+//! threads drains the queue, so the server's simulation concurrency is
+//! bounded by `--jobs` no matter how many clients are connected — the
+//! overload behavior of a shared service is queueing, not thread
+//! explosion.
+//!
+//! Shutdown is deliberate about in-flight work: workers finish the job
+//! they are executing (its result still reaches the cache and the
+//! spool) and **drop** everything still queued. A request handler
+//! observes the drop as its result channel closing and aborts the
+//! stream — which is exactly the "server killed mid-sweep" state the
+//! spool resume path is tested against.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool executing boxed jobs in submission order.
+///
+/// All methods take `&self` (state lives behind mutexes and atomics),
+/// so the pool can be shared across request handlers in an `Arc` and
+/// still be shut down from the server's control path.
+pub struct WorkerPool {
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    job_count: usize,
+    draining: Arc<AtomicBool>,
+    executed: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns `jobs` worker threads (at least one).
+    pub fn new(jobs: usize) -> WorkerPool {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let draining = Arc::new(AtomicBool::new(false));
+        let executed = Arc::new(AtomicU64::new(0));
+        let workers = (0..jobs.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let draining = Arc::clone(&draining);
+                let executed = Arc::clone(&executed);
+                std::thread::spawn(move || worker_loop(&rx, &draining, &executed))
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            job_count: jobs.max(1),
+            draining,
+            executed,
+        }
+    }
+
+    /// Enqueues a job. Returns `false` (and drops the job) if the pool
+    /// is already shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        if self.draining.load(Ordering::SeqCst) {
+            return false;
+        }
+        match self.tx.lock().unwrap().as_ref() {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Jobs executed to completion over the pool's lifetime.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::SeqCst)
+    }
+
+    /// Worker thread count.
+    pub fn jobs(&self) -> usize {
+        self.job_count
+    }
+
+    /// Stops the pool: in-flight jobs finish, queued jobs are dropped,
+    /// and all workers are joined before this returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.tx.lock().unwrap().take(); // close the channel: idle workers wake
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, draining: &AtomicBool, executed: &AtomicU64) {
+    loop {
+        // The lock is held only while waiting for a job, never while
+        // running one, so workers drain the queue concurrently.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: shutdown
+        };
+        if draining.load(Ordering::SeqCst) {
+            // Queued-but-unstarted work is dropped on shutdown; the
+            // closure's result channel closes and its request aborts.
+            drop(job);
+            continue;
+        }
+        job();
+        executed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_jobs_on_many_threads() {
+        let pool = WorkerPool::new(4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32u64 {
+            let tx = tx.clone();
+            assert!(pool.submit(move || tx.send(i * i).unwrap()));
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.executed(), 32);
+    }
+
+    #[test]
+    fn shutdown_finishes_running_jobs_and_drops_queued_ones() {
+        let pool = WorkerPool::new(1);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel();
+
+        // First job blocks the single worker until released.
+        let done = done_tx.clone();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            done.send("ran").unwrap();
+        });
+        // Second job sits in the queue and must be dropped.
+        pool.submit(move || done_tx.send("should not run").unwrap());
+
+        started_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("first job started");
+        // Release the worker from another thread, then drain.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            release_tx.send(()).unwrap();
+        });
+        pool.shutdown();
+        releaser.join().unwrap();
+
+        let outcomes: Vec<&str> = done_rx.iter().collect();
+        assert_eq!(outcomes, vec!["ran"], "queued job leaked through");
+        assert_eq!(pool.executed(), 1);
+        assert!(!pool.submit(|| ()), "pool accepts work after shutdown");
+    }
+
+    #[test]
+    fn zero_jobs_still_yields_one_worker() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.jobs(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(1).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(1));
+    }
+}

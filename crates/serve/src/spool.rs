@@ -1,0 +1,176 @@
+//! The on-disk result spool: crash-safe persistence for finished cells.
+//!
+//! Every completed cell is written to `<dir>/<cell key>.json` through
+//! [`hvc_runner::write_atomic`], so a server killed mid-sweep leaves a
+//! directory of complete, parseable files and nothing else. On restart
+//! the server replays the spool into the in-memory cache; resubmitting
+//! the interrupted sweep then reuses every finished cell and simulates
+//! only the remainder — and because the spooled statistics are the
+//! exact serialized form, the resumed report is byte-identical to an
+//! uninterrupted run.
+//!
+//! File format (schema [`SPOOL_SCHEMA`]):
+//!
+//! ```text
+//! { "schema": "hvc-spool-cell/1",
+//!   "key": "<016x cell key>",       // must match the filename stem
+//!   "workload": "...", "scheme": "...",   // provenance, for humans
+//!   "stats": { ... full obs-wide stats object ... } }
+//! ```
+//!
+//! Replay is defensive: files whose name, schema, or key field do not
+//! line up are skipped (and counted), never trusted. Stale temp files
+//! from a crashed writer have a non-`.json` suffix and are ignored.
+
+use crate::cache::{CachedCell, Origin};
+use hvc_runner::json::{self, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Schema tag of one spooled cell file.
+pub const SPOOL_SCHEMA: &str = "hvc-spool-cell/1";
+
+/// Writes one finished cell to the spool, atomically.
+pub fn write_cell(
+    dir: &Path,
+    key: u64,
+    workload: &str,
+    scheme: &str,
+    stats: &Value,
+) -> std::io::Result<()> {
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::Str(SPOOL_SCHEMA.into())),
+        ("key".into(), Value::Str(format!("{key:016x}"))),
+        ("workload".into(), Value::Str(workload.into())),
+        ("scheme".into(), Value::Str(scheme.into())),
+        ("stats".into(), stats.clone()),
+    ]);
+    hvc_runner::write_atomic(cell_path(dir, key), doc.to_pretty())
+}
+
+/// The spool filename of a cell key.
+pub fn cell_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.json"))
+}
+
+/// What a spool replay found.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Valid cells, keyed and ready for the cache.
+    pub cells: Vec<(u64, Arc<CachedCell>)>,
+    /// Files that existed but failed validation and were skipped.
+    pub skipped: u64,
+}
+
+/// Scans `dir` (creating it if missing) and parses every complete cell
+/// file. Invalid or mismatched files are skipped, not fatal: the spool
+/// is a cache of truth, and the worst case of dropping a file is one
+/// re-simulation.
+pub fn replay(dir: &Path) -> std::io::Result<Replay> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = Replay::default();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    // Deterministic replay order (directory order is arbitrary).
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue; // temp files, strangers
+        }
+        match read_cell(&path) {
+            Some((key, cell)) => out.cells.push((key, Arc::new(cell))),
+            None => out.skipped += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// Parses and validates one spool file; `None` means "skip it".
+fn read_cell(path: &Path) -> Option<(u64, CachedCell)> {
+    let stem = path.file_stem()?.to_str()?;
+    let key = u64::from_str_radix(stem, 16).ok()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    if doc.get("schema")?.as_str()? != SPOOL_SCHEMA {
+        return None;
+    }
+    if doc.get("key")?.as_str()? != format!("{key:016x}") {
+        return None; // renamed or copied under the wrong name
+    }
+    let stats = doc.get("stats")?.clone();
+    if !matches!(stats, Value::Object(_)) {
+        return None;
+    }
+    Some((
+        key,
+        CachedCell {
+            stats,
+            origin: Origin::Spool,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hvc-spool-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn stats(n: u64) -> Value {
+        Value::Object(vec![("cycles".into(), Value::UInt(n))])
+    }
+
+    #[test]
+    fn write_then_replay_round_trips() {
+        let dir = temp_dir("rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_cell(&dir, 0xabc, "gups", "baseline", &stats(7)).unwrap();
+        write_cell(&dir, 0xdef, "gups", "manyseg", &stats(9)).unwrap();
+        let replay = replay(&dir).unwrap();
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.cells.len(), 2);
+        let (key, cell) = &replay.cells[0];
+        assert_eq!(*key, 0xabc);
+        assert_eq!(cell.stats, stats(7));
+        assert_eq!(cell.origin, Origin::Spool);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_creates_a_missing_directory() {
+        let dir = temp_dir("mkdir");
+        let replay = replay(&dir).unwrap();
+        assert!(replay.cells.is_empty());
+        assert!(dir.is_dir());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_files_are_skipped() {
+        let dir = temp_dir("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_cell(&dir, 1, "gups", "baseline", &stats(1)).unwrap();
+        // Truncated JSON.
+        std::fs::write(dir.join("0000000000000002.json"), "{\"sch").unwrap();
+        // Valid JSON, wrong schema.
+        std::fs::write(dir.join("0000000000000003.json"), "{\"schema\": \"x\"}").unwrap();
+        // Key field disagrees with the filename (a copied file).
+        let stolen = std::fs::read_to_string(cell_path(&dir, 1)).unwrap();
+        std::fs::write(dir.join("0000000000000004.json"), stolen).unwrap();
+        // Not a hex stem.
+        std::fs::write(dir.join("notakey.json"), "{}").unwrap();
+        // A leftover temp file is invisible.
+        std::fs::write(dir.join("0000000000000005.json.tmp.99"), "junk").unwrap();
+
+        let replay = replay(&dir).unwrap();
+        assert_eq!(replay.cells.len(), 1);
+        assert_eq!(replay.cells[0].0, 1);
+        assert_eq!(replay.skipped, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

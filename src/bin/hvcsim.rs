@@ -13,7 +13,10 @@
 use hvc::check::{stress, CheckConfig, VirtDiffHarness};
 use hvc::core::{EnergyModel, SystemConfig, SystemSim, VirtScheme};
 use hvc::os::{AllocPolicy, Kernel};
-use hvc::runner::{params, presets, run_cell, run_sweep, sweep_report, Experiment, RunOptions};
+use hvc::runner::{
+    params, presets, run_cell, run_sweep, sweep_report, write_atomic, Experiment, RunOptions,
+};
+use hvc::serve::{ServeConfig, Server};
 use hvc::virt::Hypervisor;
 use std::process::ExitCode;
 
@@ -25,6 +28,7 @@ USAGE:
     hvcsim sweep [SWEEP OPTIONS]     run an experiment grid in parallel
     hvcsim check [CHECK OPTIONS]     run the correctness checker
     hvcsim bench [BENCH OPTIONS]     measure simulator throughput (refs/sec)
+    hvcsim serve [SERVE OPTIONS]     run the HTTP experiment server
 
 OPTIONS:
     --workload <name>    workload profile (see --list)        [default: gups]
@@ -73,6 +77,15 @@ BENCH OPTIONS:
     --mem <size>         workload memory, e.g. 256M, 1G       [default: 512M]
     --seed <n>           workload RNG seed                    [default: 42]
     --out <path>         JSON report path       [default: BENCH_hotpath.json]
+
+SERVE OPTIONS:
+    --addr <host:port>   listen address (port 0 = ephemeral)
+                                                   [default: 127.0.0.1:8080]
+    --jobs <n>           simulation worker threads            [default: 2]
+    --cache-capacity <n> memoized cells kept in memory        [default: 4096]
+    --spool <dir>        crash-safe result spool; restarting with the same
+                         directory resumes interrupted sweeps (no spool:
+                         results are memoized in memory only)
 ";
 
 fn main() -> ExitCode {
@@ -81,6 +94,7 @@ fn main() -> ExitCode {
         Some("sweep") => sweep_main(&args[1..]),
         Some("check") => check_main(&args[1..]),
         Some("bench") => bench_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
         _ => single_main(&args),
     }
 }
@@ -259,7 +273,9 @@ fn sweep_main(args: &[String]) -> ExitCode {
     let text = sweep_report(&exp, &opts, &outcome).to_pretty();
     match &out {
         Some(path) => {
-            if let Err(e) = std::fs::write(path, &text) {
+            // Atomic so a crash or full disk never leaves a truncated
+            // report where a previous good one stood.
+            if let Err(e) = write_atomic(path, &text) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -544,12 +560,83 @@ fn bench_main(args: &[String]) -> ExitCode {
         );
     }
     let doc = hotpath::bench_report(&config, &cases);
-    if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
+    if let Err(e) = write_atomic(&out, doc.to_pretty()) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out}");
     ExitCode::SUCCESS
+}
+
+/// `hvcsim serve ...`: run the HTTP experiment server until killed.
+/// Results land in the memoizing cache (and the spool, when given), so
+/// restarting after a kill resumes any interrupted sweep.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut config = ServeConfig::default();
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> Option<String> {
+        *i += 1;
+        args.get(*i - 1).cloned()
+    };
+    while i < args.len() {
+        let arg = args[i].clone();
+        i += 1;
+        let bad = || {
+            eprintln!("invalid or missing value for {arg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => match next(&mut i) {
+                Some(a) => addr = a,
+                None => return bad(),
+            },
+            "--jobs" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => config.jobs = n,
+                None => return bad(),
+            },
+            "--cache-capacity" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => config.cache_capacity = n,
+                None => return bad(),
+            },
+            "--spool" => match next(&mut i) {
+                Some(dir) => config.spool_dir = Some(dir.into()),
+                None => return bad(),
+            },
+            _ => {
+                eprintln!("unknown option {arg}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let spool = config
+        .spool_dir
+        .as_ref()
+        .map(|d| d.display().to_string())
+        .unwrap_or_else(|| "off (in-memory only)".into());
+    let server = match Server::start(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "hvcsim serve listening on http://{} (spool: {spool})",
+        server.addr()
+    );
+    eprintln!("endpoints: GET /healthz, GET /stats, GET /presets, POST /sweep");
+    // Serve until the process is killed; completed cells are already
+    // spooled, so a kill at any instant is resumable.
+    loop {
+        std::thread::park();
+    }
 }
 
 /// Checks one workload under a virtualized scheme: guest setup in a
@@ -843,7 +930,7 @@ fn single_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         };
         let doc = hvc::runner::trace_events_json(tracer.events().copied());
-        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+        if let Err(e) = write_atomic(path, doc.to_pretty()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
